@@ -1,0 +1,28 @@
+"""Shared fixtures/helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper.  The
+convention: each test prints the reproduced series/table (captured into
+``bench_output.txt`` by the top-level run script) and asserts the *shape*
+properties the paper reports — orderings, trends, crossovers, and rough
+magnitudes — rather than absolute simulator numbers.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive simulation exactly once under pytest-benchmark.
+
+    These are minutes-scale discrete-event simulations; statistical
+    repetition adds nothing (the simulator is deterministic), so one
+    round with one iteration is the honest measurement.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

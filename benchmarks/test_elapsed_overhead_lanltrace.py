@@ -1,0 +1,55 @@
+"""LANL-Trace elapsed-time overhead range (§4.1.1, Table 2 row).
+
+Paper: "The measured elapsed time was observed to be highly variable
+ranging from 24% to 222%.  The variability was observed to relate directly
+to the block size of the I/O performed by the application."
+"""
+
+from repro.harness.figures import FIGURE_PATTERNS, figure_series
+from repro.harness.report import render_overhead_range
+from repro.units import KiB, MiB
+
+BLOCKS = [32 * KiB, 64 * KiB, 256 * KiB, 1024 * KiB, 8192 * KiB]
+
+
+def test_elapsed_time_overhead_range(once):
+    def measure():
+        rows = {}
+        for figno, pattern in FIGURE_PATTERNS.items():
+            series = figure_series(
+                figno, block_sizes=BLOCKS, total_bytes_per_rank=16 * MiB,
+                nprocs=32, seed=0,
+            )
+            rows[pattern] = series
+        return rows
+
+    rows = once(measure)
+    all_points = [
+        (pattern, p.block_size, p.elapsed_overhead)
+        for pattern, series in rows.items()
+        for p in series.points
+    ]
+    overheads = [o for _, _, o in all_points]
+    bounds = {"min": min(overheads), "max": max(overheads)}
+    print()
+    for pattern, series in rows.items():
+        print(
+            "%-22s " % pattern.value
+            + "  ".join(
+                "%dK:%5.1f%%" % (p.block_size // 1024, 100 * p.elapsed_overhead)
+                for p in series.points
+            )
+        )
+    print(render_overhead_range(bounds, 24, 222))
+
+    # the paper's two key claims:
+    # 1. the range is wide (order-of-magnitude spread, tens to hundreds %)
+    assert bounds["min"] < 0.25
+    assert bounds["max"] > 1.0
+    # 2. variability relates directly to block size: within every pattern,
+    #    the largest block has (near-)minimal overhead and a small block
+    #    has the maximum.
+    for pattern, series in rows.items():
+        ovh = series.elapsed_overheads()
+        assert ovh[-1] == min(ovh), pattern
+        assert max(ovh) >= 4 * ovh[-1], pattern

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figures 2-4 and headline overhead numbers.
+
+The full evaluation sweep: for each access pattern, measures untraced and
+LANL-Trace-traced bandwidth across block sizes, prints the figure series
+with the paper's anchors, and reports the §4.1.1 elapsed-time overhead
+range.  This is the long-running example (a couple of minutes).
+
+Run:  python examples/overhead_sweep.py [--quick]
+"""
+
+import sys
+
+from repro.harness.figures import FIGURE_PATTERNS, figure_series
+from repro.harness.report import render_figure, render_overhead_range
+from repro.units import KiB, MiB
+
+PAPER_ANCHORS = {
+    2: (51.3, 5.5),
+    3: (64.7, 6.1),
+    4: (68.6, 0.6),
+}
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    if quick:
+        blocks = [64 * KiB, 1024 * KiB]
+        total = 8 * MiB
+        nprocs = 16
+    else:
+        blocks = [64 * KiB, 256 * KiB, 1024 * KiB, 8192 * KiB]
+        total = 32 * MiB
+        nprocs = 32
+
+    overheads = []
+    for figno in sorted(FIGURE_PATTERNS):
+        print("measuring figure %d (%s)..." % (figno, FIGURE_PATTERNS[figno].value))
+        series = figure_series(
+            figno, block_sizes=blocks, total_bytes_per_rank=total, nprocs=nprocs
+        )
+        print(render_figure(series))
+        small, big = PAPER_ANCHORS[figno]
+        print("paper anchors: %.1f%% @64KiB, %.1f%% @8192KiB\n" % (small, big))
+        overheads.extend(series.elapsed_overheads())
+
+    bounds = {"min": min(overheads), "max": max(overheads)}
+    print(render_overhead_range(bounds, 24, 222))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists so that editable
+installs work on hosts without the ``wheel`` package (offline clusters),
+via ``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

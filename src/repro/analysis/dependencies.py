@@ -1,0 +1,87 @@
+"""Dependency analysis over traces.
+
+Two complementary sources of dependency information exist in this
+library, matching the paper's discussion of "Reveals Dependencies"
+(§3.1):
+
+* **empirical** — //TRACE's throttling produces a
+  :class:`~repro.frameworks.ptrace.depmap.DependencyMap` (causal, needs
+  the expensive discovery runs);
+* **inferred** — this module: read/write data-flow edges recovered from
+  the traces alone (cheap, but only sees dependencies that manifest as
+  shared-file access, and inherits clock-skew ordering risk unless a
+  skew-corrected timeline is supplied).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.analysis.skew import ClockEstimate, correct_timestamp
+from repro.trace.records import TraceBundle
+
+__all__ = ["infer_data_dependencies", "dependency_summary"]
+
+_WRITE_NAMES = {"SYS_write", "SYS_pwrite64", "MPI_File_write_at", "vfs_write"}
+_READ_NAMES = {"SYS_read", "SYS_pread64", "MPI_File_read_at", "vfs_read"}
+
+
+def infer_data_dependencies(
+    bundle: TraceBundle,
+    estimates: Optional[Dict[int, ClockEstimate]] = None,
+) -> nx.DiGraph:
+    """Writer→reader edges from shared-file access order.
+
+    An edge ``(a, b)`` with attributes ``path`` and ``count`` means rank
+    ``a`` wrote a file that rank ``b`` subsequently read.  Ordering uses
+    skew-corrected time when ``estimates`` is given, raw local time
+    otherwise.
+    """
+    accesses: List[Tuple[float, int, str, str]] = []  # (t, rank, kind, path)
+    for key, tf in bundle.files.items():
+        rank = tf.rank if tf.rank is not None else key
+        for e in tf.events:
+            if e.path is None:
+                continue
+            if e.name in _WRITE_NAMES:
+                kind = "w"
+            elif e.name in _READ_NAMES:
+                kind = "r"
+            else:
+                continue
+            t = (
+                correct_timestamp(estimates, rank, e.timestamp)
+                if estimates is not None
+                else e.timestamp
+            )
+            accesses.append((t, rank, kind, e.path))
+    accesses.sort(key=lambda a: a[0])
+
+    graph = nx.DiGraph()
+    last_writer: Dict[str, int] = {}
+    for _t, rank, kind, path in accesses:
+        if kind == "w":
+            last_writer[path] = rank
+        else:
+            writer = last_writer.get(path)
+            if writer is not None and writer != rank:
+                if graph.has_edge(writer, rank):
+                    graph.edges[writer, rank]["count"] += 1
+                else:
+                    graph.add_edge(writer, rank, path=path, count=1)
+    return graph
+
+
+def dependency_summary(graph: nx.DiGraph) -> str:
+    """One-line-per-edge rendering of a dependency digraph."""
+    if graph.number_of_edges() == 0:
+        return "# no cross-rank data dependencies observed\n"
+    lines = ["# inferred data dependencies (writer -> reader)"]
+    for a, b, data in sorted(graph.edges(data=True)):
+        lines.append(
+            "  rank %s -> rank %s  (%d transfer(s), e.g. %s)"
+            % (a, b, data.get("count", 1), data.get("path", "?"))
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,119 @@
+"""Clock skew and drift estimation from barrier timing stamps.
+
+The taxonomy (§3.1) requires frameworks that report per-node timestamps to
+"allow for the possibility of drift and skew and provide mechanisms by
+which developers and debuggers can account for them".  LANL-Trace's
+mechanism is the barrier timing job: every rank reports its local clock
+immediately before and after a global barrier, before *and* after the
+application (two barriers, separated by the run's duration).
+
+Since all ranks exit one barrier at (nearly) the same true instant, the
+exit stamps of one barrier expose pairwise skew; two barriers separated in
+time expose drift.  We fit, for each rank, the affine map from its local
+clock to a reference rank's clock by least squares over barrier exits::
+
+    ref_time  ~=  alpha_r + beta_r * local_r
+
+``beta_r != 1`` is drift relative to the reference; ``alpha_r`` absorbs
+skew.  With the fitted estimates, any local timestamp (e.g. a trace
+event's) can be projected onto the common timeline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.records import BarrierStamp
+
+__all__ = ["ClockEstimate", "estimate_clocks", "correct_timestamp"]
+
+
+@dataclass(frozen=True)
+class ClockEstimate:
+    """Affine map from one rank's local clock onto the reference clock."""
+
+    rank: int
+    alpha: float  # offset
+    beta: float  # rate
+
+    def to_reference(self, local_time: float) -> float:
+        """Project a local timestamp onto the reference clock."""
+        return self.alpha + self.beta * local_time
+
+    @property
+    def has_drift(self) -> bool:
+        """Detectable rate difference vs. the reference (beyond ~0.1 ppm)."""
+        return abs(self.beta - 1.0) > 1e-7
+
+
+def _exits_by_barrier(stamps: Iterable[BarrierStamp]) -> Dict[str, Dict[int, float]]:
+    by_label: Dict[str, Dict[int, float]] = defaultdict(dict)
+    for s in stamps:
+        by_label[s.barrier_label][s.rank] = s.exited_at
+    return by_label
+
+
+def estimate_clocks(
+    stamps: Iterable[BarrierStamp], reference_rank: int = 0
+) -> Dict[int, ClockEstimate]:
+    """Fit per-rank clock maps from barrier stamps.
+
+    Needs at least one barrier containing the reference rank; drift
+    (beta != 1) is only observable with two or more barriers.
+    """
+    by_label = _exits_by_barrier(stamps)
+    usable = {
+        label: exits
+        for label, exits in by_label.items()
+        if reference_rank in exits and len(exits) >= 2
+    }
+    if not usable:
+        raise TraceError(
+            "no barrier stamps include reference rank %d" % reference_rank
+        )
+    ranks = set()
+    for exits in usable.values():
+        ranks.update(exits)
+
+    estimates: Dict[int, ClockEstimate] = {
+        reference_rank: ClockEstimate(rank=reference_rank, alpha=0.0, beta=1.0)
+    }
+    for rank in sorted(ranks - {reference_rank}):
+        local: List[float] = []
+        ref: List[float] = []
+        for exits in usable.values():
+            if rank in exits:
+                local.append(exits[rank])
+                ref.append(exits[reference_rank])
+        if not local:
+            continue
+        if len(local) == 1:
+            # Single barrier: skew only, assume no drift.
+            estimates[rank] = ClockEstimate(
+                rank=rank, alpha=ref[0] - local[0], beta=1.0
+            )
+            continue
+        x = np.asarray(local)
+        y = np.asarray(ref)
+        # Centre for numerical stability (epoch-sized abscissae).
+        x0 = x.mean()
+        beta, alpha_c = np.polyfit(x - x0, y, 1)
+        alpha = alpha_c - beta * x0
+        estimates[rank] = ClockEstimate(rank=rank, alpha=float(alpha), beta=float(beta))
+    return estimates
+
+
+def correct_timestamp(
+    estimates: Dict[int, ClockEstimate], rank: int, local_time: float
+) -> float:
+    """Project a rank-local timestamp onto the reference timeline."""
+    try:
+        est = estimates[rank]
+    except KeyError:
+        raise TraceError("no clock estimate for rank %d" % rank) from None
+    return est.to_reference(local_time)

@@ -1,0 +1,81 @@
+"""Call summaries: counts and total time per traced function.
+
+Reproduces the third LANL-Trace output of the paper's Figure 1::
+
+    #                     SUMMARY COUNT OF TRACED CALL(S)
+    #  Function Name            Number of Calls            Total time (s)
+    =====================================================================
+       MPIO_Wait                              2                  0.000118
+       MPI_Barrier                           29                  2.156431
+       ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.trace.events import TraceEvent
+from repro.trace.records import TraceBundle, TraceFile
+
+__all__ = ["CallSummary", "summarize_calls"]
+
+
+@dataclass(frozen=True)
+class CallSummaryRow:
+    name: str
+    n_calls: int
+    total_time: float
+
+
+class CallSummary:
+    """Aggregated per-function statistics over a set of events."""
+
+    def __init__(self, rows: Dict[str, CallSummaryRow]):
+        self._rows = rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._rows
+
+    def __getitem__(self, name: str) -> CallSummaryRow:
+        return self._rows[name]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def names(self) -> List[str]:
+        """All function names, sorted."""
+        return sorted(self._rows)
+
+    def rows(self) -> List[CallSummaryRow]:
+        """Rows sorted by function name (the Figure 1 presentation)."""
+        return [self._rows[n] for n in self.names()]
+
+    @property
+    def total_calls(self) -> int:
+        return sum(r.n_calls for r in self._rows.values())
+
+    @property
+    def total_time(self) -> float:
+        return sum(r.total_time for r in self._rows.values())
+
+
+def summarize_calls(source: TraceBundle | TraceFile | Iterable[TraceEvent]) -> CallSummary:
+    """Build a :class:`CallSummary` from a bundle, file, or event iterable."""
+    if isinstance(source, TraceBundle):
+        events: Iterable[TraceEvent] = source.all_events()
+    elif isinstance(source, TraceFile):
+        events = source.events
+    else:
+        events = source
+    counts: Dict[str, int] = {}
+    times: Dict[str, float] = {}
+    for e in events:
+        counts[e.name] = counts.get(e.name, 0) + 1
+        times[e.name] = times.get(e.name, 0.0) + e.duration
+    return CallSummary(
+        {
+            name: CallSummaryRow(name=name, n_calls=counts[name], total_time=times[name])
+            for name in counts
+        }
+    )

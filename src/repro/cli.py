@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``table2 [--format text|markdown|csv]``
+    Render the paper's Table 2 (classification of all registered
+    frameworks' published values).
+``classify NAME``
+    One framework's classification as a Table-1-style reference card.
+``recommend [constraint flags]``
+    Formalize tracing requirements and rank the frameworks (§5).
+``figure N [--quick]``
+    Regenerate Figure 2, 3 or 4 on the simulated testbed.
+``summarize TRACE``
+    Call summary of a trace file (text ``.trace`` or binary ``.bin``).
+``convert IN OUT``
+    Convert a trace between the human-readable and binary formats
+    (direction inferred from file extensions).
+``anonymize IN OUT [--mode randomize|encrypt] [--key HEX] [--fields ...]``
+    Anonymize a trace file for release.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.casestudy import paper_table2
+from repro.core.requirements import Requirements, recommend
+from repro.core.summary_table import render_csv, render_markdown, render_summary_table
+from repro.errors import ReproError
+from repro.trace import binary_format, text_format
+from repro.trace.anonymize import (
+    ANONYMIZABLE_FIELDS,
+    FieldSelectiveAnonymizer,
+    RandomizingAnonymizer,
+)
+from repro.trace.records import TraceFile
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_trace(path: Path) -> TraceFile:
+    data = path.read_bytes()
+    if data[:4] == binary_format.MAGIC:
+        return binary_format.decode_trace_file(data)
+    return text_format.decode_trace_file(data.decode("utf-8"))
+
+
+def _store_trace(tf: TraceFile, path: Path) -> None:
+    if path.suffix in (".bin", ".rtb"):
+        path.write_bytes(binary_format.encode_trace_file(tf))
+    else:
+        path.write_text(text_format.encode_trace_file(tf))
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    classifications = list(paper_table2().values())
+    if args.include_extensions:
+        from repro.frameworks.netmsg import MsgTrace
+
+        classifications.append(MsgTrace().classification())
+    renderer = {
+        "text": render_summary_table,
+        "markdown": render_markdown,
+        "csv": render_csv,
+    }[args.format]
+    print(renderer(classifications), end="")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    # Importing the framework packages populates the registry.
+    import repro.frameworks.lanltrace  # noqa: F401
+    import repro.frameworks.netmsg  # noqa: F401
+    import repro.frameworks.ptrace  # noqa: F401
+    import repro.frameworks.tracefs  # noqa: F401
+    from repro.frameworks.base import FRAMEWORK_REGISTRY
+
+    table = paper_table2()
+    by_alias = {
+        "lanl-trace": table["LANL-Trace"],
+        "tracefs": table["Tracefs"],
+        "ptrace": table["//TRACE"],
+        "//trace": table["//TRACE"],
+    }
+    name = args.name.lower()
+    if name in by_alias:
+        print(render_summary_table(by_alias[name]), end="")
+        return 0
+    cls = FRAMEWORK_REGISTRY.get(name)
+    if cls is None:
+        print(
+            "unknown framework %r (known: %s)"
+            % (args.name, ", ".join(sorted(set(by_alias) | set(FRAMEWORK_REGISTRY)))),
+            file=sys.stderr,
+        )
+        return 2
+    print(render_summary_table(cls().classification()), end="")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    reqs = Requirements(
+        need_parallel_fs=args.parallel_fs,
+        min_anonymization=args.min_anonymization,
+        need_replayable=args.replayable,
+        need_dependencies=args.dependencies,
+        need_analysis_tools=args.analysis_tools,
+        need_skew_drift_accounting=args.skew_drift,
+        min_granularity_control=args.min_granularity,
+        max_install_difficulty=args.max_install,
+        max_elapsed_overhead_percent=args.max_overhead,
+    )
+    for rec in recommend(reqs, paper_table2().values()):
+        print(rec.render())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.harness.figures import figure_series
+    from repro.harness.report import render_figure
+    from repro.units import KiB, MiB
+
+    if args.quick:
+        blocks: Optional[List[int]] = [64 * KiB, 1024 * KiB]
+        total, nprocs = 8 * MiB, 16
+    else:
+        blocks, total, nprocs = None, 32 * MiB, 32
+    series = figure_series(
+        args.number, block_sizes=blocks, total_bytes_per_rank=total, nprocs=nprocs
+    )
+    print(render_figure(series), end="")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    from repro.analysis.summary import summarize_calls
+
+    tf = _load_trace(Path(args.trace))
+    summary = summarize_calls(tf.events)
+    print("# %d events from %s (pid %d, rank %s)"
+          % (len(tf), tf.hostname or "?", tf.pid, tf.rank))
+    print("%-28s %15s %25s" % ("Function Name", "Number of Calls", "Total time (s)"))
+    for row in summary.rows():
+        print("%-28s %15d %25.6f" % (row.name, row.n_calls, row.total_time))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    tf = _load_trace(Path(args.input))
+    _store_trace(tf, Path(args.output))
+    print("converted %d events: %s -> %s" % (len(tf), args.input, args.output))
+    return 0
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    tf = _load_trace(Path(args.input))
+    fields = frozenset(args.fields) if args.fields else ANONYMIZABLE_FIELDS
+    if args.mode == "randomize":
+        anonymizer = RandomizingAnonymizer(fields)
+    else:
+        if not args.key:
+            print("encrypt mode requires --key (32 hex chars)", file=sys.stderr)
+            return 2
+        anonymizer = FieldSelectiveAnonymizer(
+            fields, mode="encrypt", key=bytes.fromhex(args.key)
+        )
+    _store_trace(tf.map(anonymizer), Path(args.output))
+    print("anonymized %d events (%s: %s) -> %s"
+          % (len(tf), args.mode, ", ".join(sorted(fields)), args.output))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="I/O Tracing Framework Taxonomy (SC'07) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table2", help="render the classification summary table")
+    p.add_argument("--format", choices=("text", "markdown", "csv"), default="text")
+    p.add_argument(
+        "--include-extensions",
+        action="store_true",
+        help="also classify this library's extension frameworks (MsgTrace)",
+    )
+    p.set_defaults(fn=_cmd_table2)
+
+    p = sub.add_parser("classify", help="one framework's reference card")
+    p.add_argument("name", help="lanl-trace | tracefs | ptrace | msgtrace | ...")
+    p.set_defaults(fn=_cmd_classify)
+
+    p = sub.add_parser("recommend", help="rank frameworks against requirements")
+    p.add_argument("--parallel-fs", action="store_true")
+    p.add_argument("--replayable", action="store_true")
+    p.add_argument("--dependencies", action="store_true")
+    p.add_argument("--analysis-tools", action="store_true")
+    p.add_argument("--skew-drift", action="store_true")
+    p.add_argument("--min-anonymization", type=int, default=0, metavar="0..5")
+    p.add_argument("--min-granularity", type=int, default=0, metavar="0..5")
+    p.add_argument("--max-install", type=int, default=None, metavar="1..5")
+    p.add_argument("--max-overhead", type=float, default=None, metavar="PERCENT")
+    p.set_defaults(fn=_cmd_recommend)
+
+    p = sub.add_parser("figure", help="regenerate Figure 2, 3 or 4")
+    p.add_argument("number", type=int, choices=(2, 3, 4))
+    p.add_argument("--quick", action="store_true", help="small fast sweep")
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("summarize", help="call summary of a trace file")
+    p.add_argument("trace")
+    p.set_defaults(fn=_cmd_summarize)
+
+    p = sub.add_parser("convert", help="convert text <-> binary trace formats")
+    p.add_argument("input")
+    p.add_argument("output", help=".bin/.rtb => binary, anything else => text")
+    p.set_defaults(fn=_cmd_convert)
+
+    p = sub.add_parser("anonymize", help="anonymize a trace for release")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--mode", choices=("randomize", "encrypt"), default="randomize")
+    p.add_argument("--key", help="hex key for encrypt mode (32 hex chars)")
+    p.add_argument(
+        "--fields", nargs="*", choices=sorted(ANONYMIZABLE_FIELDS), default=None
+    )
+    p.set_defaults(fn=_cmd_anonymize)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

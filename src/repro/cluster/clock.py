@@ -1,0 +1,61 @@
+"""Per-node clocks with skew and drift.
+
+The paper (§3.1) defines the two phenomena precisely:
+
+    "Time skew is the difference between distributed clocks at any single
+    moment in time.  Time drift is the change in time skew over time."
+
+We model a node clock as an affine function of true (simulated) time::
+
+    local(t) = epoch + (1 + drift) * t + skew
+
+* ``skew`` — constant offset in seconds at t=0;
+* ``drift`` — fractional rate error (e.g. 5e-6 = 5 µs gained per second),
+  which makes the offset *change over time*;
+* ``epoch`` — an arbitrary wall-clock base (the paper's traces show Unix
+  epoch timestamps like 1159808385.17), shared across the cluster.
+
+Timestamps recorded by tracing frameworks always come from the local clock,
+never from true simulated time — that is what makes the skew/drift
+correction machinery (:mod:`repro.analysis.skew`) non-trivial and testable:
+the estimator must recover the affine map well enough to order events
+globally.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimTimeError
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """An imperfect node clock: ``local(t) = epoch + (1 + drift) * t + skew``."""
+
+    __slots__ = ("skew", "drift", "epoch")
+
+    def __init__(self, skew: float = 0.0, drift: float = 0.0, epoch: float = 0.0):
+        if drift <= -1.0:
+            raise SimTimeError("drift <= -1 would make the clock run backwards")
+        self.skew = float(skew)
+        self.drift = float(drift)
+        self.epoch = float(epoch)
+
+    def local(self, true_time: float) -> float:
+        """Map true simulated time to this node's local timestamp."""
+        return self.epoch + (1.0 + self.drift) * true_time + self.skew
+
+    def true(self, local_time: float) -> float:
+        """Invert :meth:`local`: recover true time from a local timestamp."""
+        return (local_time - self.epoch - self.skew) / (1.0 + self.drift)
+
+    def offset_at(self, true_time: float) -> float:
+        """Instantaneous skew versus a perfect clock at ``true_time``.
+
+        This is the paper's "time skew ... at any single moment in time";
+        with nonzero drift it changes linearly with time.
+        """
+        return self.local(true_time) - (self.epoch + true_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "Clock(skew=%g, drift=%g, epoch=%g)" % (self.skew, self.drift, self.epoch)

@@ -1,0 +1,90 @@
+"""Cluster assembly: configuration plus construction of the node set.
+
+A :class:`Cluster` owns the simulator, the nodes (with randomly drawn clock
+skew/drift from the config's distributions), and the interconnect.  Storage
+systems and MPI runtimes attach on top of it — see
+:mod:`repro.simfs.pfs` and :mod:`repro.simmpi.runtime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.clock import Clock
+from repro.cluster.network import Network, NetworkConfig
+from repro.cluster.node import Node, NodeParams
+from repro.des.simulator import Simulator
+
+__all__ = ["Cluster", "ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape and imperfection parameters of a simulated cluster.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of compute nodes (the paper ran 32 processors).
+    seed:
+        Root seed for all randomness in the simulation.
+    clock_skew_stddev:
+        Standard deviation of the per-node constant clock offset, seconds.
+        Commodity clusters of the era commonly disagreed by tens of
+        milliseconds to seconds when NTP was loose.
+    clock_drift_stddev:
+        Standard deviation of the per-node fractional rate error.  Crystal
+        oscillators drift on the order of 1e-6 .. 1e-4 (1–100 ppm).
+    clock_epoch:
+        Shared wall-clock base for local timestamps (Unix-epoch-like).
+    node_params:
+        CPU/OS cost model applied to every node.
+    network:
+        Interconnect parameters.
+    """
+
+    n_nodes: int = 32
+    seed: int = 0
+    clock_skew_stddev: float = 0.05
+    clock_drift_stddev: float = 2e-5
+    clock_epoch: float = 1_159_808_000.0
+    node_params: NodeParams = field(default_factory=NodeParams)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        if self.clock_skew_stddev < 0 or self.clock_drift_stddev < 0:
+            raise ValueError("clock imperfection stddevs must be non-negative")
+
+
+class Cluster:
+    """A simulated cluster: simulator + nodes + interconnect."""
+
+    def __init__(self, config: ClusterConfig | None = None):
+        self.config = config or ClusterConfig()
+        self.sim = Simulator(seed=self.config.seed)
+        rng = self.sim.random.stream("cluster.clocks")
+        self.nodes: list[Node] = []
+        for i in range(self.config.n_nodes):
+            clock = Clock(
+                skew=float(rng.normal(0.0, self.config.clock_skew_stddev))
+                if self.config.clock_skew_stddev > 0
+                else 0.0,
+                drift=float(rng.normal(0.0, self.config.clock_drift_stddev))
+                if self.config.clock_drift_stddev > 0
+                else 0.0,
+                epoch=self.config.clock_epoch,
+            )
+            self.nodes.append(Node(self.sim, i, self.config.node_params, clock))
+        self.network = Network(self.sim, self.config.network)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, index: int) -> Node:
+        """The ``index``-th compute node."""
+        return self.nodes[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Cluster %d nodes, seed=%d>" % (len(self.nodes), self.config.seed)

@@ -1,0 +1,65 @@
+"""The I/O Tracing Framework taxonomy (the paper's contribution, §3).
+
+The taxonomy has two elements:
+
+* **feature classification** (§3.1) — thirteen features determined by
+  inspection of a framework, each with a typed value domain
+  (:mod:`repro.core.features`, :mod:`repro.core.values`), assembled into a
+  validated :class:`~repro.core.classification.FrameworkClassification`;
+* **overhead measurement** (§3.1) — empirical elapsed-time / bandwidth
+  overhead via a synthetic benchmark (:mod:`repro.core.overhead`, driving
+  :mod:`repro.harness`).
+
+Presentation and use:
+
+* :mod:`repro.core.summary_table` renders Table 1 (the template) and
+  Table 2 (the case-study comparison);
+* :mod:`repro.core.compare` diffs classifications;
+* :mod:`repro.core.requirements` turns user tracing requirements into a
+  ranked framework recommendation (the Conclusion's use-case);
+* :mod:`repro.core.casestudy` holds the paper's Table 2 values for
+  LANL-Trace, Tracefs and //TRACE.
+"""
+
+from repro.core.features import FEATURES, Feature, feature_domain
+from repro.core.values import (
+    NA,
+    AnonymizationLevel,
+    EventKind,
+    FidelityReport,
+    GranularityControl,
+    Likert,
+    NotApplicable,
+    OverheadReport,
+    TraceFormat,
+    YesNo,
+)
+from repro.core.classification import FrameworkClassification
+from repro.core.summary_table import render_summary_table, render_markdown, render_csv
+from repro.core.compare import compare_classifications, ClassificationDiff
+from repro.core.requirements import Requirements, Recommendation, recommend
+
+__all__ = [
+    "FEATURES",
+    "Feature",
+    "feature_domain",
+    "NA",
+    "NotApplicable",
+    "AnonymizationLevel",
+    "EventKind",
+    "FidelityReport",
+    "GranularityControl",
+    "Likert",
+    "OverheadReport",
+    "TraceFormat",
+    "YesNo",
+    "FrameworkClassification",
+    "render_summary_table",
+    "render_markdown",
+    "render_csv",
+    "compare_classifications",
+    "ClassificationDiff",
+    "Requirements",
+    "Recommendation",
+    "recommend",
+]

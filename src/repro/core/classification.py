@@ -1,0 +1,65 @@
+"""Validated framework classifications.
+
+A :class:`FrameworkClassification` is one column of Table 2: a framework
+name plus a value for every one of the thirteen features, validated
+against each feature's domain at construction — an incomplete or
+ill-typed classification is a bug, caught immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Tuple
+
+from repro.core.features import FEATURES, Feature, validate_value
+from repro.errors import MissingFeatureError
+
+__all__ = ["FrameworkClassification"]
+
+
+class FrameworkClassification:
+    """One framework's complete taxonomy classification."""
+
+    def __init__(self, framework_name: str, values: Mapping[Feature, Any]):
+        if not framework_name:
+            raise MissingFeatureError("classification needs a framework name")
+        missing = [f for f in FEATURES if f not in values]
+        if missing:
+            raise MissingFeatureError(
+                "classification of %r missing: %s"
+                % (framework_name, ", ".join(f.display_name for f in missing))
+            )
+        extra = [f for f in values if f not in FEATURES]
+        if extra:
+            raise MissingFeatureError(
+                "classification of %r has unknown features: %r" % (framework_name, extra)
+            )
+        for feature, value in values.items():
+            validate_value(feature, value)
+        self.framework_name = framework_name
+        self._values: Dict[Feature, Any] = {f: values[f] for f in FEATURES}
+
+    def __getitem__(self, feature: Feature) -> Any:
+        return self._values[feature]
+
+    def __iter__(self) -> Iterator[Tuple[Feature, Any]]:
+        return iter(self._values.items())
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def cell(self, feature: Feature) -> str:
+        """The Table-2 cell text for one feature."""
+        return self._values[feature].render()
+
+    def with_value(self, feature: Feature, value: Any) -> "FrameworkClassification":
+        """A copy with one feature replaced (classifications are immutable)."""
+        values = dict(self._values)
+        values[feature] = value
+        return FrameworkClassification(self.framework_name, values)
+
+    def as_dict(self) -> Dict[str, str]:
+        """Rendered mapping (display name -> cell), for export."""
+        return {f.display_name: self.cell(f) for f in FEATURES}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<FrameworkClassification %s>" % self.framework_name

@@ -1,0 +1,60 @@
+"""Side-by-side comparison of classifications.
+
+The taxonomy's purpose is "comparison of various I/O Tracing Frameworks"
+(§1); this module computes where two classifications agree and differ, in
+rendered-cell terms (the level at which Table 2 is read).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.classification import FrameworkClassification
+from repro.core.features import FEATURES, Feature
+
+__all__ = ["ClassificationDiff", "compare_classifications"]
+
+
+@dataclass(frozen=True)
+class ClassificationDiff:
+    """Result of comparing two classifications."""
+
+    left_name: str
+    right_name: str
+    same: Tuple[Feature, ...]
+    different: Dict[Feature, Tuple[str, str]]
+
+    @property
+    def n_differences(self) -> int:
+        return len(self.different)
+
+    def render(self) -> str:
+        """Human-readable diff listing."""
+        lines = [
+            "%s vs %s: %d/%d features differ"
+            % (self.left_name, self.right_name, self.n_differences, len(FEATURES))
+        ]
+        for feature, (a, b) in self.different.items():
+            lines.append("  %-35s %s  |  %s" % (feature.display_name + ":", a, b))
+        return "\n".join(lines) + "\n"
+
+
+def compare_classifications(
+    left: FrameworkClassification, right: FrameworkClassification
+) -> ClassificationDiff:
+    """Cell-level diff of two classifications."""
+    same: List[Feature] = []
+    different: Dict[Feature, Tuple[str, str]] = {}
+    for feature in FEATURES:
+        a, b = left.cell(feature), right.cell(feature)
+        if a == b:
+            same.append(feature)
+        else:
+            different[feature] = (a, b)
+    return ClassificationDiff(
+        left_name=left.framework_name,
+        right_name=right.framework_name,
+        same=tuple(same),
+        different=different,
+    )

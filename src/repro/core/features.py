@@ -1,0 +1,143 @@
+"""The thirteen taxonomy features (Table 1), with their value domains.
+
+Each feature carries the paper's display name, the section-3.1 description
+it was defined with, and a domain validator mapping to the typed values of
+:mod:`repro.core.values`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, Tuple, Type, Union
+
+from repro.core.values import (
+    NA,
+    AnonymizationLevel,
+    EventTypes,
+    FidelityReport,
+    GranularityControl,
+    Likert,
+    NotApplicable,
+    OverheadReport,
+    TraceFormat,
+    YesNo,
+)
+from repro.errors import FeatureValueError
+
+__all__ = ["Feature", "FEATURES", "feature_domain", "validate_value"]
+
+
+class Feature(enum.Enum):
+    """Table 1's rows, in presentation order."""
+
+    PARALLEL_FS_COMPATIBILITY = "Parallel file system compatibility"
+    EASE_OF_INSTALLATION = "Ease of installation and use"
+    ANONYMIZATION = "Anonymization"
+    EVENT_TYPES = "Events types"
+    GRANULARITY_CONTROL = "Control of trace granularity"
+    REPLAYABLE_GENERATION = "Replayable trace generation"
+    REPLAY_FIDELITY = "Trace replay fidelity"
+    REVEALS_DEPENDENCIES = "Reveals dependencies"
+    INTRUSIVENESS = "Intrusive vs. Passive"
+    ANALYSIS_TOOLS = "Analysis tools"
+    TRACE_FORMAT = "Trace data format"
+    SKEW_DRIFT_ACCOUNTING = "Accounts for time skew and drift"
+    ELAPSED_TIME_OVERHEAD = "Elapsed time overhead"
+
+    @property
+    def display_name(self) -> str:
+        return self.value
+
+
+#: Table 1 order.
+FEATURES: Tuple[Feature, ...] = tuple(Feature)
+
+#: Feature -> acceptable value types.  NotApplicable is allowed where the
+#: paper itself uses N/A cells (fidelity, skew/drift, overhead).
+_DOMAINS: Dict[Feature, Tuple[Type, ...]] = {
+    Feature.PARALLEL_FS_COMPATIBILITY: (YesNo,),
+    Feature.EASE_OF_INSTALLATION: (Likert,),
+    Feature.ANONYMIZATION: (AnonymizationLevel,),
+    Feature.EVENT_TYPES: (EventTypes,),
+    Feature.GRANULARITY_CONTROL: (GranularityControl,),
+    Feature.REPLAYABLE_GENERATION: (YesNo,),
+    Feature.REPLAY_FIDELITY: (FidelityReport, NotApplicable),
+    Feature.REVEALS_DEPENDENCIES: (YesNo,),
+    Feature.INTRUSIVENESS: (Likert,),
+    Feature.ANALYSIS_TOOLS: (YesNo,),
+    Feature.TRACE_FORMAT: (TraceFormat,),
+    Feature.SKEW_DRIFT_ACCOUNTING: (YesNo, NotApplicable),
+    Feature.ELAPSED_TIME_OVERHEAD: (OverheadReport, NotApplicable),
+}
+
+#: §3.1's definitions, for documentation/rendering tooling.
+FEATURE_DESCRIPTIONS: Dict[Feature, str] = {
+    Feature.PARALLEL_FS_COMPATIBILITY: (
+        "Did the framework work on a parallel file system 'out of the box' "
+        "(with little or no modification for parallelization)?"
+    ),
+    Feature.EASE_OF_INSTALLATION: (
+        "Installation/collection/use complexity, including interpreter and "
+        "permission requirements (e.g. root access impedes ease of use)."
+    ),
+    Feature.ANONYMIZATION: (
+        "Support for anonymizing personal or sensitive data in traces, from "
+        "simple replacement with random bytes to selective field control."
+    ),
+    Feature.EVENT_TYPES: (
+        "Which events are traced: I/O function calls (e.g. MPI), messages "
+        "between nodes, or events between layers of a protocol stack."
+    ),
+    Feature.GRANULARITY_CONTROL: (
+        "Can the user collect only as much information as required, since "
+        "overhead is typically a function of granularity?"
+    ),
+    Feature.REPLAYABLE_GENERATION: (
+        "Can the framework generate a pseudo-application reproducing the "
+        "I/O signature of the original application?"
+    ),
+    Feature.REPLAY_FIDELITY: (
+        "How closely does the pseudo-application's I/O match the original "
+        "(verified by re-tracing or end-to-end run time comparison)?"
+    ),
+    Feature.REVEALS_DEPENDENCIES: (
+        "Does the framework expose event dependencies and causality?"
+    ),
+    Feature.INTRUSIVENESS: (
+        "Does tracing require instrumentation of application source code?"
+    ),
+    Feature.ANALYSIS_TOOLS: (
+        "Does the framework include tools for manipulating and analyzing "
+        "collected trace data?"
+    ),
+    Feature.TRACE_FORMAT: (
+        "Binary (compact, machine-parseable) or human readable trace data."
+    ),
+    Feature.SKEW_DRIFT_ACCOUNTING: (
+        "Does the framework provide mechanisms to account for distributed "
+        "clock skew (offset at an instant) and drift (change of skew)?"
+    ),
+    Feature.ELAPSED_TIME_OVERHEAD: (
+        "(traced elapsed time - untraced elapsed time) / untraced elapsed "
+        "time, measured with a synthetic application benchmark."
+    ),
+}
+
+
+def feature_domain(feature: Feature) -> Tuple[Type, ...]:
+    """Acceptable value types for ``feature``."""
+    return _DOMAINS[feature]
+
+
+def validate_value(feature: Feature, value: Any) -> None:
+    """Raise :class:`FeatureValueError` unless ``value`` fits the domain."""
+    domain = _DOMAINS[feature]
+    if not isinstance(value, domain):
+        raise FeatureValueError(
+            "feature %r takes %s, got %r"
+            % (
+                feature.display_name,
+                " | ".join(t.__name__ for t in domain),
+                type(value).__name__,
+            )
+        )

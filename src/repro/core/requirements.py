@@ -1,0 +1,185 @@
+"""Requirements → recommendation: the taxonomy's user-facing purpose.
+
+"The taxonomy has value to potential users of I/O Tracing Frameworks in
+formalizing their tracing requirements" (§5).  A :class:`Requirements`
+object is that formalization; :func:`recommend` scores classifications
+against it, reproducing the Conclusion's reasoning:
+
+* a user needing anonymization or analysis tools is steered away from
+  LANL-Trace;
+* a user needing accurate replayable traces is steered to //TRACE;
+* a user on a parallel file system is warned off Tracefs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional
+
+from repro.core.classification import FrameworkClassification
+from repro.core.features import Feature
+from repro.core.values import (
+    EventKind,
+    FidelityReport,
+    NotApplicable,
+    OverheadReport,
+    TraceFormat,
+    YesNo,
+)
+
+__all__ = ["Requirements", "Recommendation", "recommend"]
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """A user's formalized tracing requirements.
+
+    Every field is optional; ``None``/``False``/empty means "no
+    constraint".  Hard requirements disqualify; the soft preferences
+    (install difficulty, overhead) order the qualifiers.
+    """
+
+    need_parallel_fs: bool = False
+    min_anonymization: int = 0
+    need_replayable: bool = False
+    max_replay_error_percent: Optional[float] = None
+    need_dependencies: bool = False
+    need_analysis_tools: bool = False
+    need_skew_drift_accounting: bool = False
+    min_granularity_control: int = 0
+    required_event_kinds: FrozenSet[EventKind] = frozenset()
+    trace_format: Optional[TraceFormat] = None
+    max_install_difficulty: Optional[int] = None
+    max_intrusiveness: Optional[int] = None
+    max_elapsed_overhead_percent: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.min_anonymization <= 5):
+            raise ValueError("min_anonymization must be 0..5")
+        if not (0 <= self.min_granularity_control <= 5):
+            raise ValueError("min_granularity_control must be 0..5")
+        object.__setattr__(
+            self, "required_event_kinds", frozenset(self.required_event_kinds)
+        )
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One framework's fit against a requirements spec."""
+
+    framework_name: str
+    qualifies: bool
+    violations: List[str] = field(default_factory=list)
+    score: float = 0.0
+
+    def render(self) -> str:
+        """One-block verdict with violation bullets."""
+        verdict = "RECOMMENDED" if self.qualifies else "unsuitable"
+        out = "%-12s %s (score %.1f)" % (self.framework_name, verdict, self.score)
+        for v in self.violations:
+            out += "\n    - %s" % v
+        return out
+
+
+def _check(req: Requirements, c: FrameworkClassification) -> List[str]:
+    """All hard-requirement violations of ``c``."""
+    v: List[str] = []
+    if req.need_parallel_fs and not c[Feature.PARALLEL_FS_COMPATIBILITY]:
+        v.append("not compatible with a parallel file system out of the box")
+    anon = c[Feature.ANONYMIZATION]
+    if req.min_anonymization > 0 and anon.level < req.min_anonymization:
+        v.append(
+            "anonymization %s below required level %d"
+            % (anon.render(), req.min_anonymization)
+        )
+    if req.need_replayable and not c[Feature.REPLAYABLE_GENERATION]:
+        v.append("does not generate replayable traces")
+    if req.max_replay_error_percent is not None:
+        fid = c[Feature.REPLAY_FIDELITY]
+        if isinstance(fid, NotApplicable):
+            v.append("replay fidelity not demonstrated")
+        elif fid.error_percent > req.max_replay_error_percent:
+            v.append(
+                "replay error %.0f%% above the %.0f%% bound"
+                % (fid.error_percent, req.max_replay_error_percent)
+            )
+    if req.need_dependencies and not c[Feature.REVEALS_DEPENDENCIES]:
+        v.append("does not reveal inter-node dependencies")
+    if req.need_analysis_tools and not c[Feature.ANALYSIS_TOOLS]:
+        v.append("includes no trace analysis tools")
+    if req.need_skew_drift_accounting:
+        sd = c[Feature.SKEW_DRIFT_ACCOUNTING]
+        if isinstance(sd, NotApplicable) or not sd:
+            v.append("does not account for clock skew and drift")
+    gran = c[Feature.GRANULARITY_CONTROL]
+    if req.min_granularity_control > 0 and gran.level < req.min_granularity_control:
+        v.append(
+            "granularity control %s below required level %d"
+            % (gran.render(), req.min_granularity_control)
+        )
+    missing_kinds = req.required_event_kinds - c[Feature.EVENT_TYPES].kinds
+    if missing_kinds:
+        v.append(
+            "cannot capture: %s" % ", ".join(sorted(k.value for k in missing_kinds))
+        )
+    if req.trace_format is not None and c[Feature.TRACE_FORMAT] is not req.trace_format:
+        v.append("trace format is %s" % c[Feature.TRACE_FORMAT].render())
+    if (
+        req.max_install_difficulty is not None
+        and c[Feature.EASE_OF_INSTALLATION].score > req.max_install_difficulty
+    ):
+        v.append(
+            "installation difficulty %s exceeds %d"
+            % (c[Feature.EASE_OF_INSTALLATION].render(), req.max_install_difficulty)
+        )
+    if (
+        req.max_intrusiveness is not None
+        and c[Feature.INTRUSIVENESS].score > req.max_intrusiveness
+    ):
+        v.append("too intrusive: %s" % c[Feature.INTRUSIVENESS].render())
+    if req.max_elapsed_overhead_percent is not None:
+        ovh = c[Feature.ELAPSED_TIME_OVERHEAD]
+        if isinstance(ovh, NotApplicable):
+            v.append("elapsed time overhead not characterized")
+        elif (
+            ovh.max_percent is not None
+            and ovh.max_percent > req.max_elapsed_overhead_percent
+        ):
+            v.append(
+                "worst-case overhead %s exceeds %.0f%%"
+                % (ovh.render(), req.max_elapsed_overhead_percent)
+            )
+    return v
+
+
+def _soft_score(c: FrameworkClassification) -> float:
+    """Preference among qualifiers: easier install, lower worst overhead."""
+    score = 10.0 - 2.0 * c[Feature.EASE_OF_INSTALLATION].score
+    ovh = c[Feature.ELAPSED_TIME_OVERHEAD]
+    if isinstance(ovh, OverheadReport) and ovh.max_percent is not None:
+        score -= min(5.0, ovh.max_percent / 50.0)
+    return score
+
+
+def recommend(
+    requirements: Requirements,
+    classifications: Iterable[FrameworkClassification],
+) -> List[Recommendation]:
+    """Rank frameworks against a requirements spec.
+
+    Qualifiers come first (best score first), then disqualified frameworks
+    with their violation lists — so the output doubles as an explanation.
+    """
+    recs: List[Recommendation] = []
+    for c in classifications:
+        violations = _check(requirements, c)
+        recs.append(
+            Recommendation(
+                framework_name=c.framework_name,
+                qualifies=not violations,
+                violations=violations,
+                score=_soft_score(c),
+            )
+        )
+    recs.sort(key=lambda r: (not r.qualifies, -r.score, r.framework_name))
+    return recs

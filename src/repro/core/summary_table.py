@@ -1,0 +1,83 @@
+"""Summary-table rendering (§3.2).
+
+"After applying the taxonomy to an I/O Tracing Framework, a simple
+reference table can be built summarizing the results for quick feature
+comparison."  One classification renders like Table 1; several render
+side-by-side like Table 2.  Text, Markdown and CSV output.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Sequence
+
+from repro.core.classification import FrameworkClassification
+from repro.core.features import FEATURES
+
+__all__ = ["render_summary_table", "render_markdown", "render_csv"]
+
+
+def _columns(
+    classifications: Sequence[FrameworkClassification],
+) -> List[List[str]]:
+    """Header row + one row per feature, as lists of cells."""
+    header = ["Feature"] + [c.framework_name for c in classifications]
+    rows = [header]
+    for feature in FEATURES:
+        rows.append([feature.display_name] + [c.cell(feature) for c in classifications])
+    return rows
+
+
+def render_summary_table(
+    classifications: FrameworkClassification | Iterable[FrameworkClassification],
+) -> str:
+    """Fixed-width text table (Table 1 for one framework, Table 2 for many)."""
+    if isinstance(classifications, FrameworkClassification):
+        classifications = [classifications]
+    cols = list(classifications)
+    if not cols:
+        raise ValueError("nothing to render")
+    rows = _columns(cols)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+
+    def fmt(row: List[str]) -> str:
+        return "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+
+    sep = "=" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [fmt(rows[0]), sep]
+    out.extend(fmt(r) for r in rows[1:])
+    return "\n".join(out) + "\n"
+
+
+def render_markdown(
+    classifications: FrameworkClassification | Iterable[FrameworkClassification],
+) -> str:
+    """GitHub-flavoured Markdown table."""
+    if isinstance(classifications, FrameworkClassification):
+        classifications = [classifications]
+    cols = list(classifications)
+    if not cols:
+        raise ValueError("nothing to render")
+    rows = _columns(cols)
+    out = ["| " + " | ".join(rows[0]) + " |"]
+    out.append("|" + "|".join(["---"] * len(rows[0])) + "|")
+    for row in rows[1:]:
+        out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out) + "\n"
+
+
+def render_csv(
+    classifications: FrameworkClassification | Iterable[FrameworkClassification],
+) -> str:
+    """CSV export (one row per feature)."""
+    if isinstance(classifications, FrameworkClassification):
+        classifications = [classifications]
+    cols = list(classifications)
+    if not cols:
+        raise ValueError("nothing to render")
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    for row in _columns(cols):
+        writer.writerow(row)
+    return buf.getvalue()

@@ -1,0 +1,252 @@
+"""Value domains for taxonomy features (the bracketed ranges of Table 1).
+
+Table 1 gives each feature a domain like ``[Yes or No]``,
+``[1 (V. Easy) thru 5 (V. Difficult)]``, ``[None or 1 (Simple) thru
+5 (V. Advanced)]``, ``[Binary or Human readable]`` or "Describe experiment
+results".  Each domain is a small typed value here, so classifications are
+validated data rather than strings — while still rendering exactly like
+the paper's cells.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional
+
+from repro.errors import FeatureValueError
+
+__all__ = [
+    "YesNo",
+    "Likert",
+    "AnonymizationLevel",
+    "GranularityControl",
+    "EventKind",
+    "EventTypes",
+    "TraceFormat",
+    "OverheadReport",
+    "FidelityReport",
+    "NotApplicable",
+    "NA",
+]
+
+
+class NotApplicable:
+    """The ``N/A`` cell: the feature does not apply to this framework.
+
+    e.g. "trace replay fidelity" for a framework without replay, or "time
+    skew and drift" for one with no parallel mechanism at all (Tracefs's
+    Table 2 cell).  Singleton: use :data:`NA`.
+    """
+
+    _instance: Optional["NotApplicable"] = None
+
+    def __new__(cls) -> "NotApplicable":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def render(self) -> str:
+        """The table cell text."""
+        return "N/A"
+
+    def __repr__(self) -> str:
+        return "NA"
+
+
+NA = NotApplicable()
+
+
+class YesNo(enum.Enum):
+    """The ``[Yes or No]`` domain."""
+
+    YES = True
+    NO = False
+
+    def render(self) -> str:
+        """The table cell text."""
+        return "Yes" if self.value else "No"
+
+    def __bool__(self) -> bool:
+        return self.value
+
+
+_LIKERT_HINTS = {1: "V. Easy/Passive/Simple", 5: "V. Difficult/Intrusive/Advanced"}
+
+
+@dataclass(frozen=True)
+class Likert:
+    """A 1..5 scale cell, rendered with its anchor label: ``2 (Easy)``."""
+
+    score: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.score <= 5):
+            raise FeatureValueError("Likert score must be in 1..5, got %r" % self.score)
+
+    def render(self) -> str:
+        """The table cell text, e.g. ``2 (Easy)``."""
+        if self.label:
+            return "%d (%s)" % (self.score, self.label)
+        return str(self.score)
+
+    def __le__(self, other: "Likert") -> bool:
+        return self.score <= other.score
+
+    def __lt__(self, other: "Likert") -> bool:
+        return self.score < other.score
+
+
+@dataclass(frozen=True)
+class AnonymizationLevel:
+    """``[None or 1 (Simple) thru 5 (V. Advanced)]``.
+
+    ``level=0`` means not supported ("None"/"No" in Table 2).
+    """
+
+    level: int
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.level <= 5):
+            raise FeatureValueError(
+                "anonymization level must be 0 (none) .. 5, got %r" % self.level
+            )
+
+    @property
+    def supported(self) -> bool:
+        return self.level > 0
+
+    def render(self) -> str:
+        """The table cell text, e.g. ``5 (V. Advanced)`` or ``No``."""
+        if self.level == 0:
+            return "No"
+        labels = {1: "Simple", 2: "Basic", 3: "Moderate", 4: "Advanced", 5: "V. Advanced"}
+        return "%d (%s)" % (self.level, labels[self.level])
+
+
+@dataclass(frozen=True)
+class GranularityControl:
+    """Control of trace granularity: unsupported, or a 1..5 sophistication.
+
+    Table 2 uses ``1 (Simple)`` for LANL-Trace's strace-vs-ltrace choice,
+    ``5 (V. Advanced)`` for Tracefs's declarative specs, and ``No`` for
+    //TRACE ("All I/O system calls are captured").
+    """
+
+    level: int
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.level <= 5):
+            raise FeatureValueError(
+                "granularity level must be 0 (none) .. 5, got %r" % self.level
+            )
+
+    @property
+    def supported(self) -> bool:
+        return self.level > 0
+
+    def render(self) -> str:
+        """The table cell text, e.g. ``1 (Simple)`` or ``No``."""
+        if self.level == 0:
+            return "No"
+        labels = {1: "Simple", 2: "Basic", 3: "Moderate", 4: "Advanced", 5: "V. Advanced"}
+        return "%d (%s)" % (self.level, labels[self.level])
+
+
+class EventKind(enum.Enum):
+    """Kinds of events a framework can capture (§3.1 "Event types")."""
+
+    SYSTEM_CALLS = "Systems calls"
+    LIBRARY_CALLS = "library calls"
+    FS_OPERATIONS = "File system operations"
+    IO_SYSTEM_CALLS = "I/O System calls"
+    NETWORK_MESSAGES = "Network messages"
+
+
+@dataclass(frozen=True)
+class EventTypes:
+    """The set of event kinds captured, rendered like Table 2's cells."""
+
+    kinds: FrozenSet[EventKind]
+
+    def __init__(self, kinds: Iterable[EventKind]):
+        object.__setattr__(self, "kinds", frozenset(kinds))
+        if not self.kinds:
+            raise FeatureValueError("a tracing framework must capture something")
+
+    def render(self) -> str:
+        """The table cell text (kinds in a stable presentation order)."""
+        order = list(EventKind)
+        return ", ".join(k.value for k in sorted(self.kinds, key=order.index))
+
+    def __contains__(self, kind: EventKind) -> bool:
+        return kind in self.kinds
+
+
+class TraceFormat(enum.Enum):
+    """``[Binary or Human readable]``."""
+
+    BINARY = "Binary"
+    HUMAN_READABLE = "Human readable"
+
+    def render(self) -> str:
+        """The table cell text."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """An overhead cell: "Describe experiment results".
+
+    Structured as a percentage range plus a qualifying note, so Table 2
+    cells like ``24% - 222%`` and ``<=12.4%`` are data, not prose.
+    """
+
+    min_percent: Optional[float] = None
+    max_percent: Optional[float] = None
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if (
+            self.min_percent is not None
+            and self.max_percent is not None
+            and self.min_percent > self.max_percent
+        ):
+            raise FeatureValueError("overhead min above max")
+
+    def render(self) -> str:
+        """The table cell text, e.g. ``24% - 222%`` or ``<=12.4%``."""
+        if self.min_percent is None and self.max_percent is None:
+            return self.note or "N/A"
+        if self.min_percent is None:
+            core = "<=%.1f%%" % self.max_percent
+        elif self.max_percent is None:
+            core = ">=%.1f%%" % self.min_percent
+        elif self.min_percent == self.max_percent:
+            core = "%.1f%%" % self.min_percent
+        else:
+            core = "%.0f%% - %.0f%%" % (self.min_percent, self.max_percent)
+        return core + ((" (%s)" % self.note) if self.note else "")
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """A replay-fidelity cell: error percentage plus note.
+
+    Table 2's //TRACE cell is "As low as 6%".
+    """
+
+    error_percent: float
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.error_percent < 0:
+            raise FeatureValueError("fidelity error cannot be negative")
+
+    def render(self) -> str:
+        """The table cell text, e.g. ``As low as 6%``."""
+        core = "As low as %.0f%%" % self.error_percent
+        return core + ((" (%s)" % self.note) if self.note else "")

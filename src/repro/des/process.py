@@ -1,0 +1,196 @@
+"""Generator-coroutine simulated processes.
+
+A process body is a plain Python generator.  It makes progress by yielding
+commands to the kernel:
+
+``yield Timeout(dt)``
+    suspend for ``dt`` simulated seconds;
+``yield completion``
+    suspend until the :class:`~repro.des.events.Completion` settles; the
+    yield expression evaluates to its value (or raises its failure);
+``yield AllOf([...])`` / ``yield AnyOf([...])``
+    composite waits.
+
+Sub-activities compose with ``yield from``, so a simulated syscall is just
+a generator the caller delegates to.  The generator's ``return`` value
+becomes the success value of :attr:`Process.completion`, letting processes
+wait on each other like threads being joined.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.des.events import AllOf, AnyOf, Completion, Timeout
+from repro.errors import ProcessError
+
+__all__ = ["Process"]
+
+
+class Process:
+    """A running simulated activity driven by the kernel.
+
+    Not instantiated directly — use :meth:`repro.des.simulator.Simulator.spawn`.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic name, used in deadlock reports.
+    daemon:
+        Daemon processes (server loops) are allowed to be abandoned when the
+        simulation ends and do not count toward deadlock detection.
+    completion:
+        Settles with the generator's return value when the process finishes,
+        or with its exception if the body raises.
+    """
+
+    __slots__ = ("_sim", "_gen", "name", "daemon", "completion", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: Any,
+        gen: Generator[Any, Any, Any],
+        name: str = "process",
+        daemon: bool = False,
+    ):
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise ProcessError(
+                "process body must be a generator, got %r — did you forget a "
+                "yield, or pass the function instead of calling it?" % (gen,)
+            )
+        self._sim = sim
+        self._gen = gen
+        self.name = name
+        self.daemon = daemon
+        self.completion = Completion(sim, name="proc:%s" % name)
+        self._waiting_on: Optional[str] = None
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True while the body has not yet returned or raised."""
+        return not self.completion.done
+
+    @property
+    def waiting_on(self) -> Optional[str]:
+        """Human-readable description of the current blocking command."""
+        return self._waiting_on
+
+    # -- kernel driving ---------------------------------------------------
+
+    def _start(self) -> None:
+        self._sim.schedule(0.0, self._resume_send, None)
+
+    def _resume_send(self, value: Any) -> None:
+        """Resume the generator with ``value`` from the settled command."""
+        if not self.alive:  # cancelled/interrupted after scheduling
+            return
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:
+            self._finish_fail(exc)
+            return
+        self._handle(command)
+
+    def _resume_throw(self, exc: BaseException) -> None:
+        """Resume the generator by throwing ``exc`` at the yield point."""
+        if not self.alive:
+            return
+        try:
+            command = self._gen.throw(exc)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as raised:
+            self._finish_fail(raised)
+            return
+        self._handle(command)
+
+    def _handle(self, command: Any) -> None:
+        """Arrange for the process to be resumed when ``command`` settles."""
+        if isinstance(command, Timeout):
+            self._waiting_on = "timeout(%g)" % command.delay
+            self._sim.schedule(command.delay, self._resume_send, command.value)
+        elif isinstance(command, Completion):
+            self._waiting_on = "completion(%s)" % (command.name or "?")
+            command.add_callback(self._on_completion)
+        elif isinstance(command, AllOf):
+            self._wait_all(command)
+        elif isinstance(command, AnyOf):
+            self._wait_any(command)
+        else:
+            exc = ProcessError(
+                "process %r yielded unsupported command %r" % (self.name, command)
+            )
+            # Surface the bug inside the process so its completion fails too.
+            self._sim.schedule(0.0, self._resume_throw, exc)
+
+    def _on_completion(self, completion: Completion) -> None:
+        if completion.exception is not None:
+            self._resume_throw(completion.exception)
+        else:
+            self._resume_send(completion._value)
+
+    def _wait_all(self, command: AllOf) -> None:
+        self._waiting_on = "all_of(%d)" % len(command.completions)
+        remaining = [len(command.completions)]
+        failed = [False]
+        if remaining[0] == 0:
+            self._sim.schedule(0.0, self._resume_send, [])
+            return
+
+        def on_one(completion: Completion) -> None:
+            if failed[0] or not self.alive:
+                return
+            if completion.exception is not None:
+                failed[0] = True
+                self._resume_throw(completion.exception)
+                return
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._resume_send([c._value for c in command.completions])
+
+        for c in command.completions:
+            c.add_callback(on_one)
+
+    def _wait_any(self, command: AnyOf) -> None:
+        self._waiting_on = "any_of(%d)" % len(command.completions)
+        settled = [False]
+
+        def on_one(index: int, completion: Completion) -> None:
+            if settled[0] or not self.alive:
+                return
+            settled[0] = True
+            if completion.exception is not None:
+                self._resume_throw(completion.exception)
+            else:
+                self._resume_send((index, completion._value))
+
+        for i, c in enumerate(command.completions):
+            c.add_callback(lambda comp, i=i: on_one(i, comp))
+
+    # -- termination ------------------------------------------------------
+
+    def _finish_ok(self, value: Any) -> None:
+        self._waiting_on = None
+        self._sim._process_finished(self)
+        self.completion.succeed(value)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self._waiting_on = None
+        self._sim._process_finished(self)
+        self.completion.fail(exc)
+
+    def interrupt(self, exc: Optional[BaseException] = None) -> None:
+        """Throw ``exc`` (default :class:`ProcessError`) into the process."""
+        if exc is None:
+            exc = ProcessError("process %r interrupted" % self.name)
+        self._sim.schedule(0.0, self._resume_throw, exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "finished"
+        return "<Process %s %s>" % (self.name, state)

@@ -1,0 +1,43 @@
+"""The simulator's time-ordered event queue.
+
+A thin wrapper over :mod:`heapq` keyed by ``(time, sequence)``.  The
+monotonically increasing sequence number makes simultaneous events fire in
+insertion order, which is what makes whole simulations deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Tuple
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Min-heap of scheduled callbacks ordered by (time, insertion order)."""
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: list[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, callback: Callable[..., None], args: tuple = ()) -> None:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        heapq.heappush(self._heap, (time, next(self._counter), callback, args))
+
+    def pop(self) -> Tuple[float, Callable[..., None], tuple]:
+        """Remove and return the earliest ``(time, callback, args)``."""
+        time, _seq, callback, args = heapq.heappop(self._heap)
+        return time, callback, args
+
+    def peek_time(self) -> float:
+        """Time of the earliest scheduled event (queue must be non-empty)."""
+        return self._heap[0][0]

@@ -1,0 +1,153 @@
+"""Contention primitives: FIFO resources and message stores.
+
+:class:`Resource` models a service point with fixed concurrency (a disk, a
+file server, a network link's token): processes acquire, hold for however
+long their service takes, and release.  FIFO ordering keeps simulations
+deterministic and fair, matching the queueing behaviour of real I/O stacks
+closely enough for the paper's overhead phenomena.
+
+:class:`Store` is an unbounded FIFO channel used for message passing (MPI
+point-to-point delivery, RPC request queues).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from repro.des.events import Completion, Timeout
+from repro.errors import SimulationError
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A FIFO server pool with ``capacity`` concurrent slots.
+
+    Typical use inside a process body::
+
+        yield res.acquire()
+        try:
+            yield Timeout(service_time)
+        finally:
+            res.release()
+
+    or equivalently ``yield from res.serve(service_time)``.
+    """
+
+    def __init__(self, sim: Any, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self._sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Completion] = deque()
+        # Cumulative busy time integral, for utilization reporting.
+        self._busy_time = 0.0
+        self._last_change = 0.0
+        self._total_acquires = 0
+
+    # -- acquisition --------------------------------------------------------
+
+    def acquire(self) -> Completion:
+        """Return a completion that settles when a slot is granted."""
+        comp = Completion(self._sim, name="acquire:%s" % self.name)
+        if self._in_use < self.capacity:
+            self._grant(comp)
+        else:
+            self._waiters.append(comp)
+        return comp
+
+    def release(self) -> None:
+        """Give back one slot; the oldest waiter (if any) is granted next."""
+        if self._in_use <= 0:
+            raise SimulationError("release of %r with no slot held" % self.name)
+        self._account()
+        self._in_use -= 1
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+    def _grant(self, comp: Completion) -> None:
+        self._account()
+        self._in_use += 1
+        self._total_acquires += 1
+        comp.succeed(self)
+
+    def _account(self) -> None:
+        now = self._sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def serve(self, service_time: float) -> Generator[Any, Any, None]:
+        """Sub-activity: acquire, hold for ``service_time``, release.
+
+        Use with ``yield from``.
+        """
+        yield self.acquire()
+        try:
+            yield Timeout(service_time)
+        finally:
+            self.release()
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    @property
+    def total_acquires(self) -> int:
+        return self._total_acquires
+
+    def utilization(self) -> float:
+        """Mean busy fraction over [0, now] (0 if no time has passed)."""
+        now = self._sim.now
+        self._account()
+        if now <= 0:
+            return 0.0
+        return self._busy_time / (now * self.capacity)
+
+
+class Store:
+    """Unbounded FIFO channel of items between processes.
+
+    ``put`` never blocks; ``get`` returns a completion settling when an item
+    is available.  Items are delivered in put order; pending getters are
+    served in get order.
+    """
+
+    def __init__(self, sim: Any, name: str = "store"):
+        self._sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Completion] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest pending getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Completion:
+        """Return a completion that settles with the next item."""
+        comp = Completion(self._sim, name="get:%s" % self.name)
+        if self._items:
+            comp.succeed(self._items.popleft())
+        else:
+            self._getters.append(comp)
+        return comp
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: the next item, or None if empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,136 @@
+"""The simulation run loop.
+
+A :class:`Simulator` owns virtual time (seconds, starting at 0.0), the
+event queue, and the set of live processes.  ``run()`` drains the queue;
+if it drains while non-daemon processes are still blocked, that is a
+deadlock in the simulated system and raises
+:class:`~repro.errors.DeadlockError` with the culprits' names — silent
+hangs are the worst failure mode of a simulated cluster, so they are loud
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.des.events import Completion, Timeout
+from repro.des.process import Process
+from repro.des.queue import EventQueue
+from repro.des.rand import RandomStreams
+from repro.errors import DeadlockError, SimTimeError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all randomness (see :class:`~repro.des.rand.RandomStreams`).
+        Two simulators with the same seed and the same spawn sequence produce
+        identical histories.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._live: dict[int, Process] = {}
+        self.random = RandomStreams(seed)
+        self.seed = seed
+        self._events_executed = 0
+
+    # -- time & scheduling --------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total kernel events dispatched so far (a determinism fingerprint)."""
+        return self._events_executed
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimTimeError("cannot schedule into the past (delay=%r)" % delay)
+        self._queue.push(self._now + delay, callback, args)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Convenience constructor for the Timeout command."""
+        return Timeout(delay, value)
+
+    def completion(self, name: str = "") -> Completion:
+        """Create a pending completion bound to this simulator."""
+        return Completion(self, name=name)
+
+    # -- processes ------------------------------------------------------------
+
+    def spawn(
+        self,
+        gen: Generator[Any, Any, Any],
+        name: str = "process",
+        daemon: bool = False,
+    ) -> Process:
+        """Start a new simulated process from generator ``gen``.
+
+        The process takes its first step at the current simulated instant
+        (not synchronously inside this call).
+        """
+        proc = Process(self, gen, name=name, daemon=daemon)
+        self._live[id(proc)] = proc
+        proc._start()
+        return proc
+
+    def _process_finished(self, proc: Process) -> None:
+        self._live.pop(id(proc), None)
+
+    @property
+    def live_processes(self) -> list[Process]:
+        """Processes that have been spawned and not yet finished."""
+        return list(self._live.values())
+
+    # -- run loop -------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the queue drains (or simulated ``until``).
+
+        Returns the final simulated time.  Raises
+        :class:`~repro.errors.DeadlockError` if the queue drains while
+        non-daemon processes remain blocked.
+        """
+        while self._queue:
+            t = self._queue.peek_time()
+            if until is not None and t > until:
+                self._now = until
+                return self._now
+            t, callback, args = self._queue.pop()
+            if t < self._now:
+                raise SimTimeError(
+                    "event queue went backwards: %r < %r" % (t, self._now)
+                )
+            self._now = t
+            self._events_executed += 1
+            callback(*args)
+        blocked = [p.name for p in self._live.values() if not p.daemon]
+        if blocked:
+            details = [
+                "%s (waiting on %s)" % (p.name, p.waiting_on or "nothing?")
+                for p in self._live.values()
+                if not p.daemon
+            ]
+            raise DeadlockError(details)
+        return self._now
+
+    def run_process(self, gen: Generator[Any, Any, Any], name: str = "main") -> Any:
+        """Spawn ``gen``, run to completion, and return its result.
+
+        The common entry point for whole-simulation drivers: raises the
+        process's exception if it failed.
+        """
+        proc = self.spawn(gen, name=name)
+        self.run()
+        return proc.completion.value

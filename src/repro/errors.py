@@ -1,0 +1,206 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by library code derives from :class:`ReproError` so that
+callers can catch the whole family with one ``except`` clause.  Subsystems
+define narrower subclasses here (rather than in their own modules) so the
+full hierarchy is visible in one place and no import cycles arise between
+low-level packages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Discrete-event simulation kernel
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors in the discrete-event simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while simulated processes were still blocked.
+
+    Raised by :meth:`repro.des.simulator.Simulator.run` when no events remain
+    but at least one process has not terminated — the simulated system can
+    make no further progress.
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        super().__init__(
+            "deadlock: no pending events but %d process(es) still blocked: %s"
+            % (len(blocked), ", ".join(blocked))
+        )
+
+
+class ProcessError(SimulationError):
+    """A simulated process misbehaved (e.g. yielded an unknown command)."""
+
+
+class SimTimeError(SimulationError):
+    """An operation would move simulated time backwards."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated OS / file system
+# ---------------------------------------------------------------------------
+
+
+class SimOSError(ReproError):
+    """Base class for simulated operating-system errors.
+
+    Mirrors POSIX ``errno`` semantics: each subclass carries a symbolic
+    ``errno_name`` matching the POSIX constant the real syscall would set.
+    """
+
+    errno_name = "EIO"
+
+
+class FileNotFound(SimOSError):
+    """Path does not resolve to an existing file (POSIX ENOENT)."""
+
+    errno_name = "ENOENT"
+
+
+class FileExists(SimOSError):
+    """Exclusive create of a path that already exists (POSIX EEXIST)."""
+
+    errno_name = "EEXIST"
+
+
+class NotADirectory(SimOSError):
+    """A path component used as a directory is not one (POSIX ENOTDIR)."""
+
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(SimOSError):
+    """File operation applied to a directory (POSIX EISDIR)."""
+
+    errno_name = "EISDIR"
+
+
+class BadFileDescriptor(SimOSError):
+    """Operation on a closed or never-opened descriptor (POSIX EBADF)."""
+
+    errno_name = "EBADF"
+
+
+class PermissionDenied(SimOSError):
+    """Caller lacks permission for the operation (POSIX EACCES)."""
+
+    errno_name = "EACCES"
+
+
+class NoSpaceLeft(SimOSError):
+    """Backing device is full (POSIX ENOSPC)."""
+
+    errno_name = "ENOSPC"
+
+
+class InvalidArgument(SimOSError):
+    """Malformed syscall argument (POSIX EINVAL)."""
+
+    errno_name = "EINVAL"
+
+
+class CrossDeviceLink(SimOSError):
+    """Operation spans two mounts (POSIX EXDEV)."""
+
+    errno_name = "EXDEV"
+
+
+class NotMounted(SimOSError):
+    """Path prefix has no mounted file system."""
+
+    errno_name = "ENODEV"
+
+
+# ---------------------------------------------------------------------------
+# Simulated MPI
+# ---------------------------------------------------------------------------
+
+
+class MPIError(ReproError):
+    """Base class for simulated MPI runtime errors."""
+
+
+class RankError(MPIError):
+    """Rank out of range for the communicator."""
+
+
+class CollectiveMismatch(MPIError):
+    """Ranks disagreed on a collective call (different ops or roots)."""
+
+
+# ---------------------------------------------------------------------------
+# Trace data
+# ---------------------------------------------------------------------------
+
+
+class TraceError(ReproError):
+    """Base class for trace encoding/decoding/analysis errors."""
+
+
+class TraceFormatError(TraceError):
+    """Trace bytes/text do not conform to the expected format."""
+
+
+class TraceChecksumError(TraceFormatError):
+    """A binary trace frame failed checksum verification."""
+
+
+class TraceTruncatedError(TraceFormatError):
+    """A binary trace ended mid-record."""
+
+
+class AnonymizationError(TraceError):
+    """Anonymization could not be applied (unknown field, bad key...)."""
+
+
+# ---------------------------------------------------------------------------
+# Frameworks / taxonomy / harness
+# ---------------------------------------------------------------------------
+
+
+class FrameworkError(ReproError):
+    """Base class for tracing-framework orchestration errors."""
+
+
+class NotTraceable(FrameworkError):
+    """Framework cannot trace the given workload/cluster combination.
+
+    e.g. Tracefs mounted over a file system it is not compatible with, per
+    the paper's finding that Tracefs did not work "out of the box" on the
+    LANL parallel file system.
+    """
+
+
+class TaxonomyError(ReproError):
+    """Base class for taxonomy schema/classification errors."""
+
+
+class FeatureValueError(TaxonomyError):
+    """A classification assigned a value outside the feature's domain."""
+
+
+class MissingFeatureError(TaxonomyError):
+    """A classification omitted a required taxonomy feature."""
+
+
+class ReplayError(ReproError):
+    """Replayable-trace generation or replay failed."""
+
+
+class HostTracingError(ReproError):
+    """Real-OS tracing (strace wrapper / in-process interposer) failed."""
+
+
+class StraceNotAvailable(HostTracingError):
+    """The real ``strace`` binary is not installed on this host."""

@@ -1,0 +1,87 @@
+"""Common interface of every I/O Tracing Framework.
+
+The taxonomy's whole point is that frameworks with very different
+mechanisms (ptrace wrappers, kernel stackable layers, library
+interposition) can be *measured and classified identically*.  The
+interface encodes the lifecycle every mechanism shares:
+
+1. :meth:`~TracingFramework.prepare` — alter the machine before launch
+   (Tracefs remounts the target file system under its stackable layer;
+   the others do nothing);
+2. :meth:`~TracingFramework.setup_rank` — per-rank attach (LANL-Trace
+   wraps each process with strace/ltrace; //TRACE preloads its library);
+3. :meth:`~TracingFramework.wrap_app` — optionally bracket the
+   application (LANL-Trace runs barrier timing jobs before and after);
+4. :meth:`~TracingFramework.finalize` — collect everything into a
+   :class:`~repro.trace.records.TraceBundle`.
+
+Each framework also reports its taxonomy classification via
+``classification()`` (see :mod:`repro.core.classification`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Type
+
+from repro.simmpi.runtime import JobResult
+from repro.trace.records import TraceBundle
+
+__all__ = ["TracingFramework", "TracedRun", "FRAMEWORK_REGISTRY", "register_framework"]
+
+
+@dataclass
+class TracedRun:
+    """Outcome of one traced application run."""
+
+    framework_name: str
+    job: JobResult
+    bundle: TraceBundle
+
+    @property
+    def elapsed(self) -> float:
+        return self.job.elapsed
+
+
+class TracingFramework:
+    """Base lifecycle; subclasses override the hooks they need."""
+
+    #: short identifier, e.g. "lanl-trace"
+    name = "null"
+
+    def prepare(self, testbed: Any) -> None:
+        """Modify the machine before job launch (mounts, throttles...)."""
+
+    def setup_rank(self, rank: int, proc: Any, mpirank: Any) -> None:
+        """Attach to one rank's process before the application starts."""
+
+    def wrap_app(self, app: Callable) -> Callable:
+        """Return the application actually launched (default: unchanged)."""
+        return app
+
+    def finalize(self, job: JobResult) -> TraceBundle:
+        """Assemble the run's trace bundle after the job completed."""
+        return TraceBundle(metadata={"framework": self.name})
+
+    # -- taxonomy ------------------------------------------------------------
+
+    def classification(self):
+        """This framework's taxonomy feature classification.
+
+        Returns a :class:`repro.core.classification.FrameworkClassification`.
+        Subclasses must override; the base raises to catch unclassified
+        frameworks in tests.
+        """
+        raise NotImplementedError("framework %r has no classification" % self.name)
+
+
+#: name -> framework class, for harness/CLI lookup
+FRAMEWORK_REGISTRY: Dict[str, Type[TracingFramework]] = {}
+
+
+def register_framework(cls: Type[TracingFramework]) -> Type[TracingFramework]:
+    """Class decorator: add a framework to the registry by its ``name``."""
+    if not cls.name or cls.name == "null":
+        raise ValueError("framework class %r needs a distinctive name" % cls)
+    FRAMEWORK_REGISTRY[cls.name] = cls
+    return cls

@@ -1,0 +1,27 @@
+"""LANL-Trace (paper §2.1, §4.1).
+
+A deliberately simple tracing framework: wrap every rank of an MPI job
+with ``ltrace`` (library + system calls) or ``strace`` (system calls
+only), bracket the application with barrier timing jobs for skew/drift
+accounting, and emit three human-readable outputs (Figure 1): raw trace
+data, aggregate timing information, and a call summary.
+
+Simplicity is the trade-off: per-event ptrace stops make the overhead
+large and strongly block-size-dependent (Figures 2-4; 24%-222% elapsed
+time overhead).
+"""
+
+from repro.frameworks.lanltrace.framework import LANLTrace, LANLTraceConfig
+from repro.frameworks.lanltrace.outputs import (
+    render_aggregate_timing,
+    render_call_summary,
+    render_raw_trace,
+)
+
+__all__ = [
+    "LANLTrace",
+    "LANLTraceConfig",
+    "render_aggregate_timing",
+    "render_call_summary",
+    "render_raw_trace",
+]

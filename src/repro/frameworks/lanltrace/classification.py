@@ -1,0 +1,28 @@
+"""LANL-Trace's taxonomy classification (§4.1.1 / Table 2 column 1)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.casestudy import lanl_trace_classification
+from repro.core.classification import FrameworkClassification
+from repro.core.features import Feature
+from repro.core.values import EventKind, EventTypes, OverheadReport
+
+__all__ = ["classify_lanl_trace"]
+
+
+def classify_lanl_trace(
+    config=None, overhead: Optional[OverheadReport] = None
+) -> FrameworkClassification:
+    """The published classification, adjusted for the configured mode.
+
+    In strace mode only system calls are captured ("system calls only when
+    using strace", §4.1.1); ltrace mode adds library calls.
+    """
+    c = lanl_trace_classification(overhead=overhead)
+    if config is not None and config.mode == "strace":
+        c = c.with_value(
+            Feature.EVENT_TYPES, EventTypes({EventKind.SYSTEM_CALLS})
+        )
+    return c

@@ -1,0 +1,68 @@
+"""LANL-Trace's three human-readable outputs (paper Figure 1).
+
+1. **Raw trace data** — the per-node event stream, one line per call;
+2. **Aggregate timing information** — barrier entry/exit stamps "designed
+   to allow analysis and replay tools to account for time drift and skew
+   amongst the distributed clocks";
+3. **Call summary** — per-function call counts and total time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.summary import summarize_calls
+from repro.trace.records import TraceBundle
+from repro.trace.text_format import encode_event
+
+__all__ = ["render_raw_trace", "render_aggregate_timing", "render_call_summary"]
+
+
+def render_raw_trace(bundle: TraceBundle, rank: int = 0, annotated: bool = False) -> str:
+    """Output type 1: the raw trace of one rank, Figure 1 style."""
+    tf = bundle.files[rank]
+    lines = [encode_event(e, annotated=annotated) for e in tf.events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_aggregate_timing(bundle: TraceBundle) -> str:
+    """Output type 2: barrier stamps, Figure 1 style::
+
+        # Barrier before /mpi_io_test.exe ...
+        7: host13.lanl.gov (10378) Entered barrier at 1159808385.170918
+        7: host13.lanl.gov (10378) Exited barrier at 1159808385.173167
+    """
+    out: List[str] = []
+    seen_labels: List[str] = []
+    for s in bundle.barrier_stamps:
+        if s.barrier_label not in seen_labels:
+            seen_labels.append(s.barrier_label)
+    for label in seen_labels:
+        out.append("# Barrier %s" % label)
+        for s in bundle.barrier_stamps:
+            if s.barrier_label != label:
+                continue
+            out.append(
+                "%d: %s (%d) Entered barrier at %0.6f"
+                % (s.rank, s.hostname, s.pid, s.entered_at)
+            )
+            out.append(
+                "%d: %s (%d) Exited barrier at %0.6f"
+                % (s.rank, s.hostname, s.pid, s.exited_at)
+            )
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def render_call_summary(bundle: TraceBundle) -> str:
+    """Output type 3: the summary table, Figure 1 style."""
+    summary = summarize_calls(bundle)
+    lines = [
+        "#                     SUMMARY COUNT OF TRACED CALL(S)",
+        "#  Function Name            Number of Calls            Total time (s)",
+        "=" * 77,
+    ]
+    for row in summary.rows():
+        lines.append(
+            "   %-24s %15d %25.6f" % (row.name, row.n_calls, row.total_time)
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,25 @@
+"""//TRACE's taxonomy classification (§4.3 / Table 2 column 3)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.casestudy import ptrace_classification
+from repro.core.classification import FrameworkClassification
+from repro.core.values import FidelityReport, OverheadReport
+
+__all__ = ["classify_ptrace"]
+
+
+def classify_ptrace(
+    config=None,
+    overhead: Optional[OverheadReport] = None,
+    fidelity: Optional[FidelityReport] = None,
+) -> FrameworkClassification:
+    """The published classification, with optional measured overrides."""
+    c = ptrace_classification(overhead=overhead)
+    if fidelity is not None:
+        from repro.core.features import Feature
+
+        c = c.with_value(Feature.REPLAY_FIDELITY, fidelity)
+    return c

@@ -1,0 +1,20 @@
+"""Tracefs's taxonomy classification (§4.2 / Table 2 column 2)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.casestudy import tracefs_classification
+from repro.core.classification import FrameworkClassification
+from repro.core.values import OverheadReport
+
+__all__ = ["classify_tracefs"]
+
+
+def classify_tracefs(
+    config=None, overhead: Optional[OverheadReport] = None
+) -> FrameworkClassification:
+    """The published classification (configuration does not change any
+    Table 2 cell: granularity and anonymization are *capabilities*, scored
+    whether or not a particular mount enables them)."""
+    return tracefs_classification(overhead=overhead)

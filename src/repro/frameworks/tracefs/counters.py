@@ -1,0 +1,70 @@
+"""Aggregation via event counters.
+
+Tracefs "offers a comprehensive suite of tracing functionality, including
+trace data anonymization, aggregation (via event counters), and more"
+(§2.2).  Counter mode trades detail for near-zero volume: instead of one
+record per operation, per-operation counts and byte totals accumulate in
+memory and flush once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["EventCounters"]
+
+
+@dataclass
+class _Counter:
+    calls: int = 0
+    nbytes: int = 0
+    total_time: float = 0.0
+
+
+class EventCounters:
+    """Per-operation aggregate counters."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, _Counter] = {}
+
+    def record(self, op: str, nbytes: Optional[int], duration: float) -> None:
+        """Accumulate one operation into its counter."""
+        c = self._counters.setdefault(op, _Counter())
+        c.calls += 1
+        if nbytes:
+            c.nbytes += nbytes
+        c.total_time += duration
+
+    def calls(self, op: str) -> int:
+        """Call count for ``op`` (0 if never seen)."""
+        c = self._counters.get(op)
+        return c.calls if c else 0
+
+    def nbytes(self, op: str) -> int:
+        """Payload bytes accumulated for ``op``."""
+        c = self._counters.get(op)
+        return c.nbytes if c else 0
+
+    def total_time(self, op: str) -> float:
+        """Total lower-operation time accumulated for ``op``."""
+        c = self._counters.get(op)
+        return c.total_time if c else 0.0
+
+    @property
+    def total_calls(self) -> int:
+        return sum(c.calls for c in self._counters.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Plain-dict export (for bundle metadata / JSON)."""
+        return {
+            op: {"calls": c.calls, "nbytes": c.nbytes, "total_time": c.total_time}
+            for op, c in sorted(self._counters.items())
+        }
+
+    def render(self) -> str:
+        """Human-readable counter table."""
+        lines = ["# Tracefs event counters", "# op  calls  bytes  total_time(s)"]
+        for op, c in sorted(self._counters.items()):
+            lines.append("%-10s %8d %12d %12.6f" % (op, c.calls, c.nbytes, c.total_time))
+        return "\n".join(lines) + "\n"

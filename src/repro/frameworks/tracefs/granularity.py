@@ -1,0 +1,191 @@
+"""Tracefs's declarative trace-granularity language.
+
+"A flexible declarative syntax is provided for user-level specification of
+file system operations to be traced" (§4.2) — the feature that earns
+Tracefs "5 (V. Advanced)" granularity control in Table 2.
+
+The spec is a list of rules, first match wins, default *trace*::
+
+    omit stat, fstat, readdir
+    trace write, read if path glob "/data/*" and size >= 4096
+    omit * if uid = 0
+    trace *
+
+Grammar per line::
+
+    rule   := ("trace" | "omit") ops [ "if" clause ("and" clause)* ]
+    ops    := "*" | op ("," op)*
+    clause := "path" ("=" | "glob") STRING
+            | "size" (">=" | "<=" | ">" | "<" | "=") INT
+            | "uid" "=" INT
+
+Blank lines and ``#`` comments are ignored.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+import shlex
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import FrameworkError
+
+__all__ = ["GranularitySpec", "Rule"]
+
+_VFS_OPS = {
+    "open",
+    "read",
+    "write",
+    "truncate",
+    "fsync",
+    "stat",
+    "fstat",
+    "unlink",
+    "mkdir",
+    "readdir",
+    "rename",
+    "statfs",
+}
+
+_SIZE_OPS = {
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+    "=": lambda a, b: a == b,
+}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One compiled rule: action + op set + predicate."""
+
+    trace: bool
+    ops: Optional[frozenset]  # None = all ops
+    predicate: Callable[[Optional[str], Optional[int], Optional[int]], bool]
+    source: str
+
+    def matches(self, op: str, path: Optional[str], size: Optional[int], uid: Optional[int]) -> bool:
+        """Does this rule apply to the operation?"""
+        if self.ops is not None and op not in self.ops:
+            return False
+        return self.predicate(path, size, uid)
+
+
+def _parse_clause(tokens: List[str], pos: int, source: str) -> Tuple[Callable, int]:
+    if pos >= len(tokens):
+        raise FrameworkError("dangling condition in rule: %r" % source)
+    subject = tokens[pos]
+    if subject == "path":
+        if pos + 2 >= len(tokens) or tokens[pos + 1] not in ("=", "glob"):
+            raise FrameworkError("bad path clause in rule: %r" % source)
+        op, value = tokens[pos + 1], tokens[pos + 2]
+        if op == "glob":
+            def clause(path, size, uid, pattern=value):
+                return path is not None and fnmatch.fnmatch(path, pattern)
+        else:
+            def clause(path, size, uid, wanted=value):
+                return path == wanted
+        return clause, pos + 3
+    if subject == "size":
+        if pos + 2 >= len(tokens) or tokens[pos + 1] not in _SIZE_OPS:
+            raise FrameworkError("bad size clause in rule: %r" % source)
+        cmp_fn = _SIZE_OPS[tokens[pos + 1]]
+        try:
+            bound = int(tokens[pos + 2])
+        except ValueError:
+            raise FrameworkError("size bound must be an integer: %r" % source) from None
+
+        def clause(path, size, uid, cmp_fn=cmp_fn, bound=bound):
+            return size is not None and cmp_fn(size, bound)
+
+        return clause, pos + 3
+    if subject == "uid":
+        if pos + 2 >= len(tokens) or tokens[pos + 1] != "=":
+            raise FrameworkError("bad uid clause in rule: %r" % source)
+        try:
+            wanted = int(tokens[pos + 2])
+        except ValueError:
+            raise FrameworkError("uid must be an integer: %r" % source) from None
+
+        def clause(path, size, uid, wanted=wanted):
+            return uid == wanted
+
+        return clause, pos + 3
+    raise FrameworkError("unknown clause subject %r in rule: %r" % (subject, source))
+
+
+def _parse_rule(line: str) -> Rule:
+    tokens = shlex.split(line, comments=False)
+    if not tokens or tokens[0] not in ("trace", "omit"):
+        raise FrameworkError("rule must start with 'trace' or 'omit': %r" % line)
+    trace = tokens[0] == "trace"
+    # ops: everything up to "if" (or end), comma separated
+    try:
+        if_index = tokens.index("if")
+    except ValueError:
+        if_index = len(tokens)
+    ops_text = " ".join(tokens[1:if_index])
+    if not ops_text:
+        raise FrameworkError("rule names no operations: %r" % line)
+    if ops_text.strip() == "*":
+        ops = None
+    else:
+        names = [o.strip() for o in re.split(r"[,\s]+", ops_text) if o.strip()]
+        bad = [o for o in names if o not in _VFS_OPS]
+        if bad:
+            raise FrameworkError(
+                "unknown VFS operation(s) %s in rule: %r (known: %s)"
+                % (", ".join(bad), line, ", ".join(sorted(_VFS_OPS)))
+            )
+        ops = frozenset(names)
+    clauses: List[Callable] = []
+    pos = if_index + 1
+    while pos < len(tokens):
+        if tokens[pos] == "and":
+            pos += 1
+            continue
+        clause, pos = _parse_clause(tokens, pos, line)
+        clauses.append(clause)
+    if if_index < len(tokens) and not clauses:
+        raise FrameworkError("'if' with no condition in rule: %r" % line)
+
+    def predicate(path, size, uid, clauses=tuple(clauses)):
+        return all(c(path, size, uid) for c in clauses)
+
+    return Rule(trace=trace, ops=ops, predicate=predicate, source=line)
+
+
+class GranularitySpec:
+    """A compiled spec: ordered rules, first match wins, default trace."""
+
+    def __init__(self, text: str = ""):
+        self.rules: List[Rule] = []
+        for raw in text.splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            self.rules.append(_parse_rule(line))
+        self.source = text
+
+    @classmethod
+    def trace_all(cls) -> "GranularitySpec":
+        return cls("")
+
+    def should_trace(
+        self,
+        op: str,
+        path: Optional[str] = None,
+        size: Optional[int] = None,
+        uid: Optional[int] = None,
+    ) -> bool:
+        """Decide whether one VFS operation is recorded."""
+        for rule in self.rules:
+            if rule.matches(op, path, size, uid):
+                return rule.trace
+        return True
+
+    def __len__(self) -> int:
+        return len(self.rules)

@@ -1,0 +1,29 @@
+"""Experiment harness: testbed assembly, overhead protocol, figure series.
+
+* :mod:`repro.harness.testbed` — builds the standard simulated machine
+  (cluster + parallel FS at ``/pfs`` + NFS home at ``/home`` + local
+  scratch at ``/tmp``), mirroring the paper's testbed;
+* :mod:`repro.harness.experiment` — traced-vs-untraced measurement
+  protocol and parameter sweeps;
+* :mod:`repro.harness.figures` — series generators for the paper's
+  Figures 2-4;
+* :mod:`repro.harness.report` — paper-style text rendering of results.
+"""
+
+from repro.harness.testbed import Testbed, TestbedConfig, build_testbed
+from repro.harness.experiment import (
+    OverheadMeasurement,
+    measure_overhead,
+    run_untraced,
+    sweep_block_sizes,
+)
+
+__all__ = [
+    "Testbed",
+    "TestbedConfig",
+    "build_testbed",
+    "OverheadMeasurement",
+    "measure_overhead",
+    "run_untraced",
+    "sweep_block_sizes",
+]

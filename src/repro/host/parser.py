@@ -1,0 +1,199 @@
+"""Parser for real ``strace -f -T -ttt`` text output.
+
+Typical lines::
+
+    12345 1699999999.123456 openat(AT_FDCWD, "/etc/hosts", O_RDONLY) = 3 <0.000034>
+    12345 1699999999.123999 read(3, "127.0.0.1 ..."..., 4096) = 212 <0.000017>
+    12345 1699999999.124100 write(1, "hi\\n", 3) = 3 <0.000008>
+    12345 1699999999.124500 close(3) = 0 <0.000005>
+    12345 1699999999.125000 exit_group(0) = ?
+    12345 1699999999.124800 wait4(-1,  <unfinished ...>
+
+Unfinished/resumed pairs are matched by (pid, syscall name); lines that
+do not look like syscalls (signals, exits) are skipped.  Parsed events
+use the library's shared model, with names normalized to the simulated
+spelling (``openat`` → ``SYS_open``) so downstream tools (summaries,
+pseudo-app builders) treat real and simulated traces identically.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.events import EventLayer, TraceEvent
+
+__all__ = ["parse_strace_line", "parse_strace_output"]
+
+_LINE_RE = re.compile(
+    r"^(?:(?P<pid>\d+)\s+)?"
+    r"(?P<ts>\d+\.\d+)\s+"
+    r"(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"\((?P<args>.*?)"
+    r"(?:\)\s*=\s*(?P<result>-?\d+|0x[0-9a-f]+|\?)(?:\s+(?P<errno>E[A-Z]+)[^<]*)?"
+    r"(?:\s*<(?P<dur>\d+\.\d+)>)?"
+    r"|\s*<unfinished \.\.\.>)\s*$"
+)
+
+_RESUMED_RE = re.compile(
+    r"^(?:(?P<pid>\d+)\s+)?"
+    r"(?P<ts>\d+\.\d+)\s+"
+    r"<\.\.\. (?P<name>[a-zA-Z_][a-zA-Z0-9_]*) resumed>.*?"
+    r"=\s*(?P<result>-?\d+|0x[0-9a-f]+|\?)(?:\s+(?P<errno>E[A-Z]+)[^<]*)?"
+    r"(?:\s*<(?P<dur>\d+\.\d+)>)?\s*$"
+)
+
+#: real syscall name -> this library's canonical spelling
+_NAME_MAP = {
+    "open": "SYS_open",
+    "openat": "SYS_open",
+    "creat": "SYS_open",
+    "close": "SYS_close",
+    "read": "SYS_read",
+    "pread64": "SYS_pread64",
+    "write": "SYS_write",
+    "pwrite64": "SYS_pwrite64",
+    "lseek": "SYS__llseek",
+    "_llseek": "SYS__llseek",
+    "stat": "SYS_stat64",
+    "stat64": "SYS_stat64",
+    "newfstatat": "SYS_stat64",
+    "lstat": "SYS_stat64",
+    "fstat": "SYS_fstat64",
+    "fstat64": "SYS_fstat64",
+    "unlink": "SYS_unlink",
+    "unlinkat": "SYS_unlink",
+    "mkdir": "SYS_mkdir",
+    "mkdirat": "SYS_mkdir",
+    "getdents64": "SYS_getdents64",
+    "rename": "SYS_rename",
+    "renameat": "SYS_rename",
+    "statfs": "SYS_statfs64",
+    "statfs64": "SYS_statfs64",
+    "fsync": "SYS_fsync",
+    "fdatasync": "SYS_fsync",
+    "fcntl": "SYS_fcntl64",
+    "fcntl64": "SYS_fcntl64",
+    "mmap": "SYS_mmap2",
+    "mmap2": "SYS_mmap2",
+}
+
+_PATH_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+_IO_NAMES = {"SYS_read", "SYS_write", "SYS_pread64", "SYS_pwrite64"}
+
+
+def _extract_path(name: str, argtext: str) -> Optional[str]:
+    if name in ("SYS_open", "SYS_stat64", "SYS_unlink", "SYS_mkdir", "SYS_rename",
+                "SYS_statfs64"):
+        m = _PATH_RE.search(argtext)
+        if m:
+            return m.group(1)
+    return None
+
+
+def _extract_fd(name: str, argtext: str) -> Optional[int]:
+    if name in _IO_NAMES or name in ("SYS_close", "SYS_fstat64", "SYS_fcntl64",
+                                     "SYS__llseek", "SYS_fsync"):
+        first = argtext.split(",", 1)[0].strip()
+        try:
+            return int(first)
+        except ValueError:
+            return None
+    return None
+
+
+def parse_strace_line(line: str) -> Optional[TraceEvent]:
+    """Parse one complete (non-split) strace line, or return None."""
+    m = _LINE_RE.match(line.strip())
+    if not m or m.group("result") is None:
+        return None
+    raw_name = m.group("name")
+    name = _NAME_MAP.get(raw_name)
+    if name is None:
+        return None
+    result_text = m.group("result")
+    result: Optional[object]
+    if result_text == "?":
+        result = None
+    else:
+        try:
+            result = int(result_text, 0)
+        except ValueError:
+            result = result_text
+    if m.group("errno"):
+        result = "-1 %s" % m.group("errno")
+    argtext = m.group("args") or ""
+    nbytes: Optional[int] = None
+    if name in _IO_NAMES and isinstance(result, int) and result >= 0:
+        nbytes = result
+    event = TraceEvent(
+        timestamp=float(m.group("ts")),
+        duration=float(m.group("dur")) if m.group("dur") else 0.0,
+        layer=EventLayer.SYSCALL,
+        name=name,
+        args=(argtext,),
+        result=result,
+        pid=int(m.group("pid")) if m.group("pid") else 0,
+        path=_extract_path(name, argtext),
+        fd=_extract_fd(name, argtext),
+        nbytes=nbytes,
+    )
+    return event
+
+
+def parse_strace_output(text: str) -> List[TraceEvent]:
+    """Parse a whole strace output, stitching unfinished/resumed pairs."""
+    events: List[TraceEvent] = []
+    pending: Dict[Tuple[int, str], Tuple[float, str]] = {}
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        resumed = _RESUMED_RE.match(stripped)
+        if resumed:
+            name = _NAME_MAP.get(resumed.group("name"))
+            pid = int(resumed.group("pid")) if resumed.group("pid") else 0
+            start = pending.pop((pid, resumed.group("name")), None)
+            if name is None or start is None:
+                continue
+            ts, argtext = start
+            result_text = resumed.group("result")
+            try:
+                result: object = int(result_text, 0)
+            except ValueError:
+                result = None if result_text == "?" else result_text
+            if resumed.group("errno"):
+                result = "-1 %s" % resumed.group("errno")
+            nbytes = (
+                result
+                if name in _IO_NAMES and isinstance(result, int) and result >= 0
+                else None
+            )
+            events.append(
+                TraceEvent(
+                    timestamp=ts,
+                    duration=float(resumed.group("dur")) if resumed.group("dur") else 0.0,
+                    layer=EventLayer.SYSCALL,
+                    name=name,
+                    args=(argtext,),
+                    result=result,
+                    pid=pid,
+                    path=_extract_path(name, argtext),
+                    fd=_extract_fd(name, argtext),
+                    nbytes=nbytes,
+                )
+            )
+            continue
+        if stripped.endswith("<unfinished ...>"):
+            m = _LINE_RE.match(stripped)
+            if m:
+                pid = int(m.group("pid")) if m.group("pid") else 0
+                pending[(pid, m.group("name"))] = (
+                    float(m.group("ts")),
+                    m.group("args") or "",
+                )
+            continue
+        event = parse_strace_line(stripped)
+        if event is not None:
+            events.append(event)
+    return events

@@ -1,0 +1,176 @@
+"""In-process I/O interposition for Python workloads.
+
+The //TRACE mechanism ("dynamic library interposition", paper ref [11])
+applied at the level this library can reach without native code: the
+:mod:`os` module's file I/O functions.  While a :class:`PyIOTracer` is
+active, ``os.open/read/write/pread/pwrite/lseek/close/fsync`` on *real*
+files are wrapped; each call is timed and recorded as a
+:class:`~repro.trace.events.TraceEvent`, so the library's summaries,
+codecs, anonymizers, and pseudo-app builders work on traces of real
+Python programs.
+
+Passive in the taxonomy sense — no instrumentation of the traced code —
+though, like any preload-style interposer, it only sees calls that go
+through the wrapped entry points (I/O via C extensions bypasses it, as
+memory-mapped I/O bypasses strace: the same blind-spot class the paper
+notes for every non-VFS tracer).
+
+Use as a context manager; re-entrant use is rejected rather than nested.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import HostTracingError
+from repro.trace.events import EventLayer, TraceEvent
+from repro.trace.records import TraceFile
+
+__all__ = ["PyIOTracer"]
+
+_WRAPPED = ("open", "read", "write", "pread", "pwrite", "lseek", "close", "fsync")
+
+_NAME_MAP = {
+    "open": "SYS_open",
+    "read": "SYS_read",
+    "write": "SYS_write",
+    "pread": "SYS_pread64",
+    "pwrite": "SYS_pwrite64",
+    "lseek": "SYS__llseek",
+    "close": "SYS_close",
+    "fsync": "SYS_fsync",
+}
+
+
+class PyIOTracer:
+    """Context manager tracing ``os``-level I/O of the current process."""
+
+    def __init__(self) -> None:
+        self.trace = TraceFile(
+            hostname=socket.gethostname(),
+            pid=os.getpid(),
+            framework="pyio",
+        )
+        self._originals: Dict[str, Callable] = {}
+        self._fd_paths: Dict[int, str] = {}
+        self._active = False
+        self._lock = threading.Lock()
+        # Re-entrancy guard: recording must not trace its own I/O.
+        self._in_hook = threading.local()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "PyIOTracer":
+        if self._active:
+            raise HostTracingError("PyIOTracer is not re-entrant")
+        for name in _WRAPPED:
+            self._originals[name] = getattr(os, name)
+            setattr(os, name, self._make_wrapper(name))
+        self._active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for name, fn in self._originals.items():
+            setattr(os, name, fn)
+        self._originals.clear()
+        self._active = False
+
+    # -- wrapping ------------------------------------------------------------------
+
+    def _make_wrapper(self, name: str) -> Callable:
+        original = self._originals[name]
+        tracer = self
+
+        @functools.wraps(original)
+        def wrapper(*args: Any, **kwargs: Any):
+            if getattr(tracer._in_hook, "on", False):
+                return original(*args, **kwargs)
+            tracer._in_hook.on = True
+            try:
+                t0 = time.time()
+                p0 = time.perf_counter()
+                error: Optional[BaseException] = None
+                try:
+                    result = original(*args, **kwargs)
+                except OSError as exc:
+                    error = exc
+                    result = None
+                duration = time.perf_counter() - p0
+                tracer._record(name, args, result, error, t0, duration)
+                if error is not None:
+                    raise error
+                return result
+            finally:
+                tracer._in_hook.on = False
+
+        return wrapper
+
+    def _record(
+        self,
+        name: str,
+        args: tuple,
+        result: Any,
+        error: Optional[BaseException],
+        timestamp: float,
+        duration: float,
+    ) -> None:
+        path: Optional[str] = None
+        fd: Optional[int] = None
+        nbytes: Optional[int] = None
+        offset: Optional[int] = None
+        if name == "open":
+            path = str(args[0]) if args else None
+            if error is None and isinstance(result, int) and path is not None:
+                self._fd_paths[result] = path
+        else:
+            if args and isinstance(args[0], int):
+                fd = args[0]
+                path = self._fd_paths.get(fd)
+        if name in ("read", "pread"):
+            if error is None and result is not None:
+                nbytes = len(result)
+        elif name == "write":
+            if error is None and isinstance(result, int):
+                nbytes = result
+        elif name == "pwrite":
+            if error is None and isinstance(result, int):
+                nbytes = result
+        if name in ("pread", "pwrite") and len(args) >= 3:
+            offset = args[2] if name == "pwrite" else args[2]
+        if name == "lseek" and len(args) >= 2:
+            offset = args[1]
+        if name == "close" and fd is not None:
+            self._fd_paths.pop(fd, None)
+        rendered_result: Any
+        if error is not None:
+            rendered_result = "-1 %s" % getattr(error, "strerror", "EIO")
+        elif isinstance(result, bytes):
+            rendered_result = len(result)
+        else:
+            rendered_result = result
+        printable_args = tuple(
+            a if isinstance(a, (int, str)) else ("<%d bytes>" % len(a) if isinstance(a, (bytes, bytearray, memoryview)) else repr(a))
+            for a in args
+        )
+        event = TraceEvent(
+            timestamp=timestamp,
+            duration=duration,
+            layer=EventLayer.SYSCALL,
+            name=_NAME_MAP[name],
+            args=printable_args,
+            result=rendered_result,
+            pid=os.getpid(),
+            hostname=self.trace.hostname,
+            user=os.environ.get("USER", ""),
+            path=path,
+            fd=fd,
+            nbytes=nbytes,
+            offset=offset,
+        )
+        with self._lock:
+            self.trace.append(event)

@@ -1,0 +1,33 @@
+"""Replayable traces: pseudo-application generation, replay, fidelity.
+
+The taxonomy's "Replayable trace generation" feature (§3.1): "The I/O
+Tracing Framework may optionally generate a pseudo-application from
+collected trace data with the aim of reproducing the I/O signature of the
+original application."  //TRACE is the framework built around this
+(§2.3); the paper also notes LANL-Trace's raw traces make "a replayer
+being built that reads and replays the raw trace files" trivial to
+imagine — both paths are implemented here:
+
+* :mod:`repro.replay.pseudoapp` — turn any trace bundle (from any
+  framework) into per-rank replay scripts;
+* :mod:`repro.replay.replayer` — execute a pseudo-application on a fresh
+  simulated testbed;
+* :mod:`repro.replay.fidelity` — the verification methods §3.1 describes:
+  end-to-end run-time comparison and trace-vs-trace comparison.
+"""
+
+from repro.replay.pseudoapp import PseudoApp, RankScript, ReplayOp, build_pseudoapp
+from repro.replay.replayer import ReplayResult, replay
+from repro.replay.fidelity import FidelityResult, compare_end_to_end, compare_traces
+
+__all__ = [
+    "PseudoApp",
+    "RankScript",
+    "ReplayOp",
+    "build_pseudoapp",
+    "ReplayResult",
+    "replay",
+    "FidelityResult",
+    "compare_end_to_end",
+    "compare_traces",
+]

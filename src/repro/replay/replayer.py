@@ -1,0 +1,131 @@
+"""Replay engine: execute a pseudo-application on a fresh testbed.
+
+Each rank walks its script: charge the think time, perform the I/O.
+``sync`` ops become real barriers when ``honor_sync`` is on — //TRACE's
+dependency knowledge; with it off (no dependency information, e.g. heavy
+sampling), ranks free-run on think times alone and can drift, degrading
+end-to-end fidelity — the fidelity/overhead trade the paper describes
+("user-control over replay accuracy by using sampling", §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+from repro.errors import ReplayError
+from repro.harness.testbed import TestbedConfig, build_testbed
+from repro.replay.pseudoapp import PseudoApp, RankScript
+from repro.simfs.vfs import O_CREAT, O_RDONLY, O_RDWR
+from repro.simmpi.comm import MPIRank
+from repro.simmpi.runtime import JobResult, mpirun
+
+__all__ = ["ReplayResult", "replay"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying a pseudo-application."""
+
+    elapsed: float
+    bytes_replayed: int
+    job: JobResult
+
+
+def _ensure_parents(proc, path: str) -> Generator[Any, Any, None]:
+    """mkdir -p the directories above ``path`` on the replay machine.
+
+    Traces carry file paths but not the mkdir history that created their
+    directories (those may predate tracing); the replayer recreates them.
+    """
+    parts = path.strip("/").split("/")[:-1]
+    for depth in range(1, len(parts) + 1):
+        prefix = "/" + "/".join(parts[:depth])
+        try:
+            yield from proc.mkdir(prefix)
+        except Exception:
+            pass  # exists, or is a mount point
+
+
+def _replay_rank(mpi: MPIRank, args: Dict[str, Any]) -> Generator[Any, Any, int]:
+    """The pseudo-application body for one rank."""
+    app: PseudoApp = args["pseudoapp"]
+    honor_sync: bool = args.get("honor_sync", True)
+    script: Optional[RankScript] = app.scripts.get(mpi.rank)
+    if script is None:
+        return 0
+    proc = mpi.proc
+    fds: Dict[str, int] = {}
+    made_dirs: set = set()
+    moved = 0
+    for op in script.ops:
+        if op.think_time > 0:
+            yield from proc._charge(op.think_time)
+        if op.kind == "sync":
+            if honor_sync:
+                yield from mpi.barrier()
+            continue
+        if op.kind == "open":
+            if op.path is None:
+                raise ReplayError("open op without a path")
+            if op.path not in fds:
+                parent = op.path.rsplit("/", 1)[0]
+                if parent not in made_dirs:
+                    yield from _ensure_parents(proc, op.path)
+                    made_dirs.add(parent)
+                fds[op.path] = yield from proc.open(op.path, O_RDWR | O_CREAT)
+            continue
+        if op.kind == "close":
+            if op.path in fds:
+                yield from proc.close(fds.pop(op.path))
+            continue
+        if op.kind == "fsync":
+            if op.path in fds:
+                yield from proc.fsync(fds[op.path])
+            continue
+        if op.kind in ("write", "read"):
+            if op.path is None:
+                raise ReplayError("%s op without a path" % op.kind)
+            fd = fds.get(op.path)
+            if fd is None:
+                parent = op.path.rsplit("/", 1)[0]
+                if parent not in made_dirs:
+                    yield from _ensure_parents(proc, op.path)
+                    made_dirs.add(parent)
+                fd = fds[op.path] = yield from proc.open(op.path, O_RDWR | O_CREAT)
+            nbytes = op.nbytes or 0
+            if op.kind == "write":
+                moved += yield from proc.pwrite(fd, nbytes, op.offset or 0)
+            else:
+                # Replayed reads hit whatever the replay wrote; reading
+                # past EOF (never-written regions) is fine — size is what
+                # the storage model charges for.
+                got = yield from proc.pread(fd, nbytes, op.offset or 0)
+                moved += got
+            continue
+        raise ReplayError("unknown replay op kind %r" % op.kind)
+    for fd in fds.values():
+        yield from proc.close(fd)
+    return moved
+
+
+def replay(
+    app: PseudoApp,
+    config: Optional[TestbedConfig] = None,
+    seed: int = 0,
+    honor_sync: bool = True,
+) -> ReplayResult:
+    """Run the pseudo-application on a fresh testbed."""
+    tb = build_testbed(config, seed=seed)
+    job = mpirun(
+        tb.cluster,
+        tb.vfs,
+        _replay_rank,
+        nprocs=app.nprocs,
+        args={"pseudoapp": app, "honor_sync": honor_sync},
+    )
+    return ReplayResult(
+        elapsed=job.elapsed,
+        bytes_replayed=sum(job.results),
+        job=job,
+    )

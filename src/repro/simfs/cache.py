@@ -1,0 +1,193 @@
+"""Client-side page cache as a stackable layer.
+
+A second use of the FiST-style stacking mechanism (§2.2 / reference [7])
+beyond tracing: :class:`CachingFS` mounts over any lower file system and
+absorbs reads that hit recently-accessed blocks, with either write-through
+or write-back policy.  Block-granular LRU, bounded capacity.
+
+Relevance to the paper's subject matter: caches are the reason VFS-level
+tracing (Tracefs) sees operations that block-level tracing would miss, and
+the reason traced I/O *timing* depends on history.  The ablation benchmark
+uses this layer to show how a cache reshapes the block-size/bandwidth
+curve that Figures 2-4 are built on.
+
+Only timing and metadata are simulated — "cached" means the lower file
+system is not consulted, not that bytes are stored.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Generator, Tuple
+
+from repro.errors import InvalidArgument
+from repro.simfs.stackable import StackableFS
+from repro.simfs.vfs import CallerContext, FileSystem
+from repro.units import KiB, MiB
+
+__all__ = ["CachingFS", "CacheParams"]
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Cache geometry and costs.
+
+    Attributes
+    ----------
+    capacity:
+        Total cached bytes before LRU eviction.
+    block_size:
+        Cache granule; extents are rounded out to block boundaries.
+    hit_cost:
+        CPU time to serve one cached block (copy + bookkeeping).
+    write_back:
+        If True, writes are absorbed and flushed on fsync/close
+        (write-back); if False every write also goes to the lower FS
+        (write-through).  Reads always fill the cache.
+    """
+
+    capacity: int = 64 * MiB
+    block_size: int = 64 * KiB
+    hit_cost: float = 20e-6
+    write_back: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.block_size <= 0:
+            raise InvalidArgument("cache capacity and block size must be positive")
+        if self.block_size > self.capacity:
+            raise InvalidArgument("block size exceeds capacity")
+
+
+class CachingFS(StackableFS):
+    """LRU page cache over a lower file system."""
+
+    fstype = "cachefs"
+
+    def __init__(self, sim: Any, lower: FileSystem, params: CacheParams | None = None):
+        super().__init__(sim, lower, name="cache(%s)" % lower.name)
+        self.params = params or CacheParams()
+        # (ino, block_index) -> dirty flag; OrderedDict gives LRU order.
+        self._blocks: OrderedDict[Tuple[int, int], bool] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # -- cache mechanics -----------------------------------------------------------
+
+    def _block_range(self, offset: int, nbytes: int) -> range:
+        bs = self.params.block_size
+        if nbytes <= 0:
+            return range(0)
+        return range(offset // bs, (offset + nbytes - 1) // bs + 1)
+
+    @property
+    def cached_bytes(self) -> int:
+        return len(self._blocks) * self.params.block_size
+
+    def _touch(self, key: Tuple[int, int], dirty: bool) -> None:
+        if key in self._blocks:
+            dirty = dirty or self._blocks[key]
+            self._blocks.pop(key)
+        self._blocks[key] = dirty
+
+    def _evict_for(self, needed_blocks: int):
+        """Evict LRU blocks until there is room; yields write-back I/O."""
+        max_blocks = self.params.capacity // self.params.block_size
+        while len(self._blocks) + needed_blocks > max_blocks and self._blocks:
+            (ino, bidx), dirty = next(iter(self._blocks.items()))
+            self._blocks.pop((ino, bidx))
+            self.evictions += 1
+            if dirty:
+                yield ino, bidx
+
+    def _flush_blocks(self, ctx: CallerContext, dirty_list) -> Generator[Any, Any, None]:
+        bs = self.params.block_size
+        for ino, bidx in dirty_list:
+            self.writebacks += 1
+            yield from self.lower.op_write(
+                ctx, ino, bidx * bs, bs, stream=("cache-wb", ino)
+            )
+
+    # -- intercepted data path ---------------------------------------------------------
+
+    def op_read(self, ctx: CallerContext, ino: int, offset: int, nbytes: int, stream: Any):
+        """Serve from cache; fault missing blocks in from the lower FS."""
+        blocks = list(self._block_range(offset, nbytes))
+        missing = [b for b in blocks if (ino, b) not in self._blocks]
+        n = 0
+        if missing:
+            self.misses += len(missing)
+            dirty = list(self._evict_for(len(missing)))
+            yield from self._flush_blocks(ctx, dirty)
+            # One lower read covering the missing span (readahead-style).
+            bs = self.params.block_size
+            span_start = missing[0] * bs
+            span_len = (missing[-1] - missing[0] + 1) * bs
+            yield from self.lower.op_read(ctx, ino, span_start, span_len, stream)
+            for b in missing:
+                self._touch((ino, b), dirty=False)
+        hit_blocks = [b for b in blocks if b not in missing]
+        self.hits += len(hit_blocks)
+        if hit_blocks:
+            yield self.sim.timeout(self.params.hit_cost * len(hit_blocks))
+            for b in hit_blocks:
+                self._touch((ino, b), dirty=False)
+        # Result semantics come from the lower namespace (sizes live there).
+        size = self.lower.ns.by_ino(ino).size
+        n = max(0, min(nbytes, size - offset))
+        return n
+
+    def op_write(self, ctx: CallerContext, ino: int, offset: int, nbytes: int, stream: Any):
+        """Write through or absorb (write-back), caching the blocks."""
+        blocks = list(self._block_range(offset, nbytes))
+        new = [b for b in blocks if (ino, b) not in self._blocks]
+        dirty_evicted = list(self._evict_for(len(new)))
+        yield from self._flush_blocks(ctx, dirty_evicted)
+        if self.params.write_back:
+            for b in blocks:
+                self._touch((ino, b), dirty=True)
+            yield self.sim.timeout(self.params.hit_cost * len(blocks))
+            # size bookkeeping without lower I/O
+            inode = self.lower.ns.by_ino(ino)
+            inode.size = max(inode.size, offset + nbytes)
+            inode.mtime = self.sim.now
+            return nbytes
+        n = yield from self.lower.op_write(ctx, ino, offset, nbytes, stream)
+        for b in blocks:
+            self._touch((ino, b), dirty=False)
+        return n
+
+    def op_fsync(self, ctx: CallerContext, ino: int):
+        """Flush this inode's dirty blocks, then fsync the lower FS."""
+        dirty = [
+            (i, b) for (i, b), d in list(self._blocks.items()) if d and i == ino
+        ]
+        for key in dirty:
+            self._blocks[key] = False
+        yield from self._flush_blocks(ctx, dirty)
+        yield from self.lower.op_fsync(ctx, ino)
+
+    def op_truncate(self, ctx: CallerContext, ino: int, size: int):
+        """Truncate below, invalidating cached blocks past the new end."""
+        # Drop cached blocks past the new end.
+        bs = self.params.block_size
+        cutoff = -(-size // bs)
+        for key in [k for k in self._blocks if k[0] == ino and k[1] >= cutoff]:
+            self._blocks.pop(key)
+        return (yield from self.lower.op_truncate(ctx, ino, size))
+
+    # -- introspection ----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters and the current cache footprint."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "cached_bytes": self.cached_bytes,
+        }

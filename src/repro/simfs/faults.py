@@ -1,0 +1,100 @@
+"""Fault-injecting stackable layer.
+
+A third use of FiST-style stacking: :class:`FaultInjectingFS` wraps any
+lower file system and injects deterministic, seeded failures — error
+returns (``EIO``-style) and latency spikes — into a configurable subset of
+operations.
+
+Why it belongs in a tracing reproduction: tracing frameworks must record
+*failed* calls faithfully (strace prints ``= -1 EIO (...)`` lines; the
+paper's replayable traces must preserve them), and overhead measurements
+must hold up when the underlying storage misbehaves.  This layer makes
+both testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Generator, Optional
+
+from repro.errors import SimOSError
+from repro.simfs.stackable import StackableFS
+from repro.simfs.vfs import CallerContext, FileSystem
+
+__all__ = ["FaultInjectingFS", "FaultPlan", "InjectedIOError"]
+
+
+class InjectedIOError(SimOSError):
+    """The injected failure (POSIX EIO)."""
+
+    errno_name = "EIO"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, where, how often.
+
+    Attributes
+    ----------
+    error_rate:
+        Probability an eligible operation fails with EIO.
+    delay_rate / delay:
+        Probability an eligible operation stalls, and for how long
+        (a hung-disk latency spike).
+    ops:
+        Operation names eligible for injection (empty = all).
+    path_substring:
+        Only operations whose path argument contains this string are
+        eligible (None = all paths).
+    seed_stream:
+        Name of the simulator random stream driving the coin flips —
+        deterministic per simulator seed.
+    """
+
+    error_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay: float = 0.1
+    ops: FrozenSet[str] = frozenset()
+    path_substring: Optional[str] = None
+    seed_stream: str = "faults"
+
+    def __post_init__(self) -> None:
+        for rate in (self.error_rate, self.delay_rate):
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError("rates must be in [0, 1]")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+        object.__setattr__(self, "ops", frozenset(self.ops))
+
+
+class FaultInjectingFS(StackableFS):
+    """Inject failures/delays into a lower file system's operations."""
+
+    fstype = "faultfs"
+
+    def __init__(self, sim: Any, lower: FileSystem, plan: FaultPlan):
+        super().__init__(sim, lower, name="faults(%s)" % lower.name)
+        self.plan = plan
+        self._rng = sim.random.stream(plan.seed_stream)
+        self.errors_injected = 0
+        self.delays_injected = 0
+
+    def _eligible(self, op: str, args: tuple) -> bool:
+        if self.plan.ops and op not in self.plan.ops:
+            return False
+        if self.plan.path_substring is not None:
+            path_args = [a for a in args if isinstance(a, str)]
+            if not any(self.plan.path_substring in a for a in path_args):
+                return False
+        return True
+
+    def before_op(self, ctx: CallerContext, op: str, args: tuple) -> Generator[Any, Any, None]:
+        """Roll the dice: maybe stall, maybe fail, then pass through."""
+        if self._eligible(op, args):
+            if self.plan.delay_rate and self._rng.random() < self.plan.delay_rate:
+                self.delays_injected += 1
+                yield self.sim.timeout(self.plan.delay)
+            if self.plan.error_rate and self._rng.random() < self.plan.error_rate:
+                self.errors_injected += 1
+                raise InjectedIOError("injected fault in %s" % op)
+        yield self.sim.timeout(0)

@@ -1,0 +1,156 @@
+"""Stackable file system layer (FiST-style, paper reference [7]).
+
+A :class:`StackableFS` mounts *on top of* any lower file system and
+forwards every VFS operation to it, giving subclasses two generator hooks —
+``before_op`` and ``after_op`` — to observe and to charge time.  This is
+the architecture Tracefs uses ("Using the stackable file system framework,
+Tracefs can be mounted on top of a variety of file systems of your choice
+(e.g. NFS, ext3, etc.)", §2.2).
+
+The layer has no namespace of its own: ``ns`` delegates to the lower file
+system, so a path resolves identically whether or not the layer is
+interposed — mounting the tracer must not change application-visible
+semantics, only timing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.simfs.vfs import CallerContext, FileSystem, StatResult
+
+__all__ = ["StackableFS"]
+
+
+class StackableFS(FileSystem):
+    """Transparent pass-through file system with observation hooks."""
+
+    fstype = "stackable"
+
+    def __init__(self, sim: Any, lower: FileSystem, name: str = ""):
+        super().__init__(sim, name=name or "stack(%s)" % lower.name)
+        self.lower = lower
+
+    # The stackable layer exposes the lower namespace as its own.
+    @property
+    def ns(self):  # type: ignore[override]
+        return self.lower.ns
+
+    @ns.setter
+    def ns(self, value):  # base constructor assigns one; discard it
+        pass
+
+    @property
+    def parallel_compatible(self) -> bool:  # type: ignore[override]
+        return self.lower.parallel_compatible
+
+    # -- hooks (override in subclasses) -------------------------------------------
+
+    def before_op(self, ctx: CallerContext, op: str, args: tuple) -> Generator[Any, Any, None]:
+        """Runs before the lower operation.  May charge time."""
+        yield self.sim.timeout(0)
+
+    def after_op(
+        self, ctx: CallerContext, op: str, args: tuple, result: Any, duration: float
+    ) -> Generator[Any, Any, None]:
+        """Runs after the lower operation completed.  May charge time."""
+        yield self.sim.timeout(0)
+
+    def _wrap(self, ctx: CallerContext, op: str, args: tuple, lower_gen):
+        """Run one lower operation between the two hooks."""
+        yield from self.before_op(ctx, op, args)
+        t0 = self.sim.now
+        result = yield from lower_gen
+        yield from self.after_op(ctx, op, args, result, self.sim.now - t0)
+        return result
+
+    # -- forwarded operations -------------------------------------------------------
+
+    def op_open(self, ctx: CallerContext, relpath: str, flags: int, mode: int = 0o644):
+        """Forwarded to the lower file system, between the hooks."""
+        return (
+            yield from self._wrap(
+                ctx, "open", (relpath, flags, mode),
+                self.lower.op_open(ctx, relpath, flags, mode),
+            )
+        )
+
+    def op_read(self, ctx: CallerContext, ino: int, offset: int, nbytes: int, stream: Any):
+        """Forwarded to the lower file system, between the hooks."""
+        return (
+            yield from self._wrap(
+                ctx, "read", (ino, offset, nbytes),
+                self.lower.op_read(ctx, ino, offset, nbytes, stream),
+            )
+        )
+
+    def op_write(self, ctx: CallerContext, ino: int, offset: int, nbytes: int, stream: Any):
+        """Forwarded to the lower file system, between the hooks."""
+        return (
+            yield from self._wrap(
+                ctx, "write", (ino, offset, nbytes),
+                self.lower.op_write(ctx, ino, offset, nbytes, stream),
+            )
+        )
+
+    def op_truncate(self, ctx: CallerContext, ino: int, size: int):
+        """Forwarded to the lower file system, between the hooks."""
+        return (
+            yield from self._wrap(
+                ctx, "truncate", (ino, size), self.lower.op_truncate(ctx, ino, size)
+            )
+        )
+
+    def op_fsync(self, ctx: CallerContext, ino: int):
+        """Forwarded to the lower file system, between the hooks."""
+        return (
+            yield from self._wrap(ctx, "fsync", (ino,), self.lower.op_fsync(ctx, ino))
+        )
+
+    def op_stat(self, ctx: CallerContext, relpath: str) -> Generator[Any, Any, StatResult]:
+        """Forwarded to the lower file system, between the hooks."""
+        return (
+            yield from self._wrap(ctx, "stat", (relpath,), self.lower.op_stat(ctx, relpath))
+        )
+
+    def op_fstat(self, ctx: CallerContext, ino: int) -> Generator[Any, Any, StatResult]:
+        """Forwarded to the lower file system, between the hooks."""
+        return (
+            yield from self._wrap(ctx, "fstat", (ino,), self.lower.op_fstat(ctx, ino))
+        )
+
+    def op_unlink(self, ctx: CallerContext, relpath: str):
+        """Forwarded to the lower file system, between the hooks."""
+        return (
+            yield from self._wrap(ctx, "unlink", (relpath,), self.lower.op_unlink(ctx, relpath))
+        )
+
+    def op_mkdir(self, ctx: CallerContext, relpath: str, mode: int = 0o755):
+        """Forwarded to the lower file system, between the hooks."""
+        return (
+            yield from self._wrap(
+                ctx, "mkdir", (relpath, mode), self.lower.op_mkdir(ctx, relpath, mode)
+            )
+        )
+
+    def op_readdir(self, ctx: CallerContext, relpath: str) -> Generator[Any, Any, List[str]]:
+        """Forwarded to the lower file system, between the hooks."""
+        return (
+            yield from self._wrap(
+                ctx, "readdir", (relpath,), self.lower.op_readdir(ctx, relpath)
+            )
+        )
+
+    def op_rename(self, ctx: CallerContext, old: str, new: str):
+        """Forwarded to the lower file system, between the hooks."""
+        return (
+            yield from self._wrap(
+                ctx, "rename", (old, new), self.lower.op_rename(ctx, old, new)
+            )
+        )
+
+    def op_statfs(self, ctx: CallerContext):
+        """Forwarded to the lower file system, between the hooks."""
+        return (
+            yield from self._wrap(ctx, "statfs", (), self.lower.op_statfs(ctx))
+        )

@@ -1,0 +1,468 @@
+"""Virtual file system layer: namespace, inodes, mounts, file handles.
+
+The VFS plays the same role as the Linux VFS in the paper's frameworks
+survey: it is *the* interposition point for Tracefs ("file system
+operations, i.e. Virtual File System (VFS) calls", §4.2).  File systems
+implement the generator-based operation protocol (``op_open``,
+``op_write``, ...); the VFS resolves paths through a mount table and
+forwards to whichever file system — possibly a stackable tracing layer —
+is mounted there.
+
+Contents are not stored; inodes track sizes and attributes only.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import (
+    BadFileDescriptor,
+    CrossDeviceLink,
+    FileExists,
+    FileNotFound,
+    InvalidArgument,
+    IsADirectory,
+    NotADirectory,
+    NotMounted,
+    PermissionDenied,
+)
+
+__all__ = [
+    "CallerContext",
+    "FileSystem",
+    "Inode",
+    "Namespace",
+    "OpenFile",
+    "StatResult",
+    "VFS",
+    "O_RDONLY",
+    "O_WRONLY",
+    "O_RDWR",
+    "O_CREAT",
+    "O_EXCL",
+    "O_TRUNC",
+    "O_APPEND",
+]
+
+# POSIX-style open flags (values match Linux for familiarity).
+O_RDONLY = 0o0
+O_WRONLY = 0o1
+O_RDWR = 0o2
+O_CREAT = 0o100
+O_EXCL = 0o200
+O_TRUNC = 0o1000
+O_APPEND = 0o2000
+
+_ACCMODE = 0o3
+
+
+@dataclass(frozen=True)
+class CallerContext:
+    """Who is performing a file-system operation, from where.
+
+    ``node`` is the compute node issuing the call (network file systems
+    charge transfers against its NIC); ``uid``/``user`` drive permission
+    checks and show up in traces (and are anonymization targets).
+    """
+
+    node: Any
+    pid: int = 0
+    uid: int = 1000
+    user: str = "jdoe"
+
+
+@dataclass(frozen=True)
+class StatResult:
+    """Snapshot of an inode's attributes (what ``stat(2)`` returns)."""
+
+    ino: int
+    size: int
+    mode: int
+    uid: int
+    is_dir: bool
+    nlink: int
+    mtime: float
+    ctime: float
+
+
+class Inode:
+    """File or directory metadata.  Contents are sizes, not bytes."""
+
+    __slots__ = ("ino", "is_dir", "size", "mode", "uid", "mtime", "ctime", "children", "nlink")
+
+    def __init__(self, ino: int, is_dir: bool, mode: int, uid: int, now: float):
+        self.ino = ino
+        self.is_dir = is_dir
+        self.size = 0
+        self.mode = mode
+        self.uid = uid
+        self.mtime = now
+        self.ctime = now
+        self.nlink = 1
+        self.children: Optional[Dict[str, "Inode"]] = {} if is_dir else None
+
+    def stat(self) -> StatResult:
+        """Snapshot the inode's current attributes."""
+        return StatResult(
+            ino=self.ino,
+            size=self.size,
+            mode=self.mode,
+            uid=self.uid,
+            is_dir=self.is_dir,
+            nlink=self.nlink,
+            mtime=self.mtime,
+            ctime=self.ctime,
+        )
+
+
+class Namespace:
+    """An in-memory inode tree with POSIX-flavoured path semantics.
+
+    Pure data structure — no simulated time.  File systems call into it
+    and charge time separately through their service hooks.
+    """
+
+    def __init__(self) -> None:
+        self._next_ino = 2
+        self.root = Inode(1, True, 0o755, 0, 0.0)
+        self._by_ino: Dict[int, Inode] = {1: self.root}
+
+    def _alloc(self, is_dir: bool, mode: int, uid: int, now: float) -> Inode:
+        ino = self._next_ino
+        self._next_ino += 1
+        inode = Inode(ino, is_dir, mode, uid, now)
+        self._by_ino[ino] = inode
+        return inode
+
+    @staticmethod
+    def split(relpath: str) -> List[str]:
+        parts = [p for p in relpath.split("/") if p and p != "."]
+        for p in parts:
+            if p == "..":
+                raise InvalidArgument("'..' not supported in simulated paths")
+        return parts
+
+    def lookup(self, relpath: str) -> Inode:
+        """Resolve ``relpath`` to its inode (FileNotFound if absent)."""
+        node = self.root
+        for part in self.split(relpath):
+            if not node.is_dir:
+                raise NotADirectory(part)
+            child = node.children.get(part)  # type: ignore[union-attr]
+            if child is None:
+                raise FileNotFound(relpath)
+            node = child
+        return node
+
+    def by_ino(self, ino: int) -> Inode:
+        """Look an inode up by number."""
+        inode = self._by_ino.get(ino)
+        if inode is None:
+            raise FileNotFound("inode %d" % ino)
+        return inode
+
+    def lookup_parent(self, relpath: str) -> Tuple[Inode, str]:
+        """Resolve to ``(parent directory inode, final name component)``."""
+        parts = self.split(relpath)
+        if not parts:
+            raise InvalidArgument("path refers to the root")
+        parent = self.root
+        for part in parts[:-1]:
+            if not parent.is_dir:
+                raise NotADirectory(part)
+            child = parent.children.get(part)  # type: ignore[union-attr]
+            if child is None:
+                raise FileNotFound(relpath)
+            parent = child
+        if not parent.is_dir:
+            raise NotADirectory(relpath)
+        return parent, parts[-1]
+
+    def create(self, relpath: str, mode: int, uid: int, now: float,
+               is_dir: bool = False, exclusive: bool = False) -> Inode:
+        """Create (or return, unless ``exclusive``) the entry at ``relpath``."""
+        parent, name = self.lookup_parent(relpath)
+        existing = parent.children.get(name)  # type: ignore[union-attr]
+        if existing is not None:
+            if exclusive:
+                raise FileExists(relpath)
+            if existing.is_dir != is_dir:
+                raise (IsADirectory if existing.is_dir else NotADirectory)(relpath)
+            return existing
+        inode = self._alloc(is_dir, mode, uid, now)
+        parent.children[name] = inode  # type: ignore[index]
+        parent.mtime = now
+        return inode
+
+    def unlink(self, relpath: str, now: float) -> None:
+        """Remove the entry (empty directories only)."""
+        parent, name = self.lookup_parent(relpath)
+        inode = parent.children.get(name)  # type: ignore[union-attr]
+        if inode is None:
+            raise FileNotFound(relpath)
+        if inode.is_dir:
+            if inode.children:
+                raise InvalidArgument("directory not empty: %s" % relpath)
+        del parent.children[name]  # type: ignore[arg-type]
+        parent.mtime = now
+        inode.nlink -= 1
+        if inode.nlink <= 0:
+            self._by_ino.pop(inode.ino, None)
+
+    def readdir(self, relpath: str) -> List[str]:
+        """Sorted child names of a directory."""
+        inode = self.lookup(relpath)
+        if not inode.is_dir:
+            raise NotADirectory(relpath)
+        return sorted(inode.children)  # type: ignore[arg-type]
+
+    def rename(self, old: str, new: str, now: float) -> None:
+        """Move an entry; displacing a non-empty directory is rejected."""
+        old_parent, old_name = self.lookup_parent(old)
+        inode = old_parent.children.get(old_name)  # type: ignore[union-attr]
+        if inode is None:
+            raise FileNotFound(old)
+        new_parent, new_name = self.lookup_parent(new)
+        displaced = new_parent.children.get(new_name)  # type: ignore[union-attr]
+        if displaced is not None and displaced.is_dir and displaced.children:
+            raise InvalidArgument("rename target directory not empty")
+        del old_parent.children[old_name]  # type: ignore[arg-type]
+        new_parent.children[new_name] = inode  # type: ignore[index]
+        old_parent.mtime = new_parent.mtime = now
+
+
+def _check_permission(inode: Inode, ctx: CallerContext, write: bool) -> None:
+    if ctx.uid == 0:
+        return
+    if inode.uid == ctx.uid:
+        needed = 0o200 if write else 0o400
+    else:
+        needed = 0o002 if write else 0o004
+    if not (inode.mode & needed):
+        raise PermissionDenied("uid %d mode %o" % (ctx.uid, inode.mode))
+
+
+class FileSystem:
+    """Concrete base file system: namespace + overridable timing hooks.
+
+    Subclasses (:class:`~repro.simfs.localfs.LocalFS`,
+    :class:`~repro.simfs.nfs.NFS`, :class:`~repro.simfs.pfs.ParallelFS`)
+    override the three service hooks to charge their characteristic costs.
+    All ``op_*`` methods are generators driven by the DES kernel.
+    """
+
+    #: short type tag shown by mount tables / classification tooling
+    fstype = "base"
+
+    #: whether the paper found this FS family compatible with parallel
+    #: workloads "out of the box" (drives Tracefs's NotTraceable behaviour)
+    parallel_compatible = True
+
+    def __init__(self, sim: Any, name: str = ""):
+        self.sim = sim
+        self.name = name or self.fstype
+        self.ns = Namespace()
+
+    # -- timing hooks (override in subclasses) --------------------------------
+
+    def _meta_service(self, ctx: CallerContext, op: str) -> Generator[Any, Any, None]:
+        """Time charged for one metadata operation (lookup, create, ...)."""
+        yield self.sim.timeout(10e-6)
+
+    def _read_service(
+        self, ctx: CallerContext, inode: Inode, offset: int, nbytes: int, stream: Any
+    ) -> Generator[Any, Any, None]:
+        """Time charged to move ``nbytes`` from storage to the caller."""
+        yield self.sim.timeout(0)
+
+    def _write_service(
+        self, ctx: CallerContext, inode: Inode, offset: int, nbytes: int, stream: Any
+    ) -> Generator[Any, Any, None]:
+        """Time charged to move ``nbytes`` from the caller to storage."""
+        yield self.sim.timeout(0)
+
+    # -- operations ------------------------------------------------------------
+
+    def op_open(
+        self, ctx: CallerContext, relpath: str, flags: int, mode: int = 0o644
+    ) -> Generator[Any, Any, int]:
+        """Resolve/create ``relpath``; returns the inode number."""
+        yield from self._meta_service(ctx, "open")
+        created = False
+        if flags & O_CREAT:
+            try:
+                inode = self.ns.lookup(relpath)
+                if flags & O_EXCL:
+                    raise FileExists(relpath)
+            except FileNotFound:
+                inode = self.ns.create(relpath, mode, ctx.uid, self.sim.now)
+                created = True
+        else:
+            inode = self.ns.lookup(relpath)
+        if inode.is_dir and (flags & _ACCMODE) != O_RDONLY:
+            raise IsADirectory(relpath)
+        # POSIX: the mode of a file created by this very open() does not
+        # gate this open — a 0400 O_CREAT|O_WRONLY open succeeds once.
+        if not created:
+            _check_permission(inode, ctx, write=(flags & _ACCMODE) != O_RDONLY)
+        if flags & O_TRUNC and not inode.is_dir:
+            inode.size = 0
+            inode.mtime = self.sim.now
+        return inode.ino
+
+    def op_read(
+        self, ctx: CallerContext, ino: int, offset: int, nbytes: int, stream: Any
+    ) -> Generator[Any, Any, int]:
+        """Read up to ``nbytes`` at ``offset``; returns bytes read."""
+        inode = self.ns.by_ino(ino)
+        if inode.is_dir:
+            raise IsADirectory("inode %d" % ino)
+        if offset < 0 or nbytes < 0:
+            raise InvalidArgument("negative offset/length")
+        n = max(0, min(nbytes, inode.size - offset))
+        if n > 0:
+            yield from self._read_service(ctx, inode, offset, n, stream)
+        else:
+            yield from self._meta_service(ctx, "read-eof")
+        return n
+
+    def op_write(
+        self, ctx: CallerContext, ino: int, offset: int, nbytes: int, stream: Any
+    ) -> Generator[Any, Any, int]:
+        """Write ``nbytes`` at ``offset``; returns bytes written."""
+        inode = self.ns.by_ino(ino)
+        if inode.is_dir:
+            raise IsADirectory("inode %d" % ino)
+        if offset < 0 or nbytes < 0:
+            raise InvalidArgument("negative offset/length")
+        if nbytes > 0:
+            yield from self._write_service(ctx, inode, offset, nbytes, stream)
+        inode.size = max(inode.size, offset + nbytes)
+        inode.mtime = self.sim.now
+        return nbytes
+
+    def op_truncate(self, ctx: CallerContext, ino: int, size: int) -> Generator[Any, Any, None]:
+        """Set the file size (grow or shrink)."""
+        if size < 0:
+            raise InvalidArgument("negative size")
+        inode = self.ns.by_ino(ino)
+        yield from self._meta_service(ctx, "truncate")
+        inode.size = size
+        inode.mtime = self.sim.now
+
+    def op_fsync(self, ctx: CallerContext, ino: int) -> Generator[Any, Any, None]:
+        """Flush the file (metadata cost only in the base model)."""
+        self.ns.by_ino(ino)  # validates
+        yield from self._meta_service(ctx, "fsync")
+
+    def op_stat(self, ctx: CallerContext, relpath: str) -> Generator[Any, Any, StatResult]:
+        """Attributes of the file at ``relpath``."""
+        yield from self._meta_service(ctx, "stat")
+        return self.ns.lookup(relpath).stat()
+
+    def op_fstat(self, ctx: CallerContext, ino: int) -> Generator[Any, Any, StatResult]:
+        """Attributes of an open inode."""
+        yield from self._meta_service(ctx, "fstat")
+        return self.ns.by_ino(ino).stat()
+
+    def op_unlink(self, ctx: CallerContext, relpath: str) -> Generator[Any, Any, None]:
+        """Remove a file (owner/permission checked)."""
+        yield from self._meta_service(ctx, "unlink")
+        inode = self.ns.lookup(relpath)
+        _check_permission(inode, ctx, write=True)
+        self.ns.unlink(relpath, self.sim.now)
+
+    def op_mkdir(self, ctx: CallerContext, relpath: str, mode: int = 0o755) -> Generator[Any, Any, None]:
+        """Create a directory (EEXIST if present)."""
+        yield from self._meta_service(ctx, "mkdir")
+        self.ns.create(relpath, mode, ctx.uid, self.sim.now, is_dir=True, exclusive=True)
+
+    def op_readdir(self, ctx: CallerContext, relpath: str) -> Generator[Any, Any, List[str]]:
+        """List a directory."""
+        yield from self._meta_service(ctx, "readdir")
+        return self.ns.readdir(relpath)
+
+    def op_rename(self, ctx: CallerContext, old: str, new: str) -> Generator[Any, Any, None]:
+        """Rename within this file system."""
+        yield from self._meta_service(ctx, "rename")
+        self.ns.rename(old, new, self.sim.now)
+
+    def op_statfs(self, ctx: CallerContext) -> Generator[Any, Any, Dict[str, int]]:
+        """File-system totals (file count, bytes used)."""
+        yield from self._meta_service(ctx, "statfs")
+        total_size = sum(
+            i.size for i in self.ns._by_ino.values() if not i.is_dir
+        )
+        return {"files": len(self.ns._by_ino), "bytes_used": total_size}
+
+
+class OpenFile:
+    """A process's handle on an open file (one entry in its fd table)."""
+
+    __slots__ = ("fs", "ino", "path", "flags", "position", "closed")
+
+    def __init__(self, fs: FileSystem, ino: int, path: str, flags: int):
+        self.fs = fs
+        self.ino = ino
+        self.path = path
+        self.flags = flags
+        self.position = 0
+        self.closed = False
+
+    @property
+    def readable(self) -> bool:
+        return (self.flags & _ACCMODE) in (O_RDONLY, O_RDWR)
+
+    @property
+    def writable(self) -> bool:
+        return (self.flags & _ACCMODE) in (O_WRONLY, O_RDWR)
+
+
+class VFS:
+    """Mount table + path routing.
+
+    Longest-prefix mount resolution, like the kernel: mounting a stackable
+    tracing layer *over* an existing mount point shadows the lower mount —
+    exactly how Tracefs interposes.
+    """
+
+    def __init__(self, sim: Any):
+        self.sim = sim
+        self._mounts: Dict[str, FileSystem] = {}
+
+    @staticmethod
+    def _norm(path: str) -> str:
+        if not path.startswith("/"):
+            raise InvalidArgument("paths must be absolute: %r" % path)
+        norm = posixpath.normpath(path)
+        return norm
+
+    def mount(self, prefix: str, fs: FileSystem) -> None:
+        """Mount ``fs`` at ``prefix`` (shadowing any existing mount)."""
+        self._mounts[self._norm(prefix)] = fs
+
+    def unmount(self, prefix: str) -> FileSystem:
+        """Remove and return the file system mounted at ``prefix``."""
+        try:
+            return self._mounts.pop(self._norm(prefix))
+        except KeyError:
+            raise NotMounted(prefix) from None
+
+    def mounts(self) -> Dict[str, FileSystem]:
+        """A copy of the mount table."""
+        return dict(self._mounts)
+
+    def resolve(self, path: str) -> Tuple[FileSystem, str]:
+        """Map an absolute path to ``(file system, fs-relative path)``."""
+        norm = self._norm(path)
+        best = None
+        for prefix in self._mounts:
+            if norm == prefix or norm.startswith(prefix.rstrip("/") + "/"):
+                if best is None or len(prefix) > len(best):
+                    best = prefix
+        if best is None:
+            raise NotMounted(path)
+        rel = norm[len(best):].lstrip("/")
+        return self._mounts[best], rel

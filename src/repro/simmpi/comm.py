@@ -1,0 +1,346 @@
+"""Communicators, point-to-point messaging, and collectives.
+
+Point-to-point uses eager delivery: ``send`` charges the sender's NIC and
+the fabric for the payload, then deposits the message in the receiver's
+mailbox; ``recv`` blocks until a matching ``(source, tag)`` message exists.
+
+Collectives synchronize through shared per-call-index state (every rank's
+N-th collective joins the same instance — mismatched names raise
+:class:`~repro.errors.CollectiveMismatch`, modelling the real-world hang a
+mismatched collective causes, but loudly).  Their time cost is the
+classic logarithmic tree: ``ceil(log2(size))`` network latencies, charged
+once all ranks have arrived.
+
+Every MPI function is dispatched through the calling process's *library*
+seam so ltrace-level tracers observe it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.des.events import Completion
+from repro.errors import CollectiveMismatch, RankError
+from repro.simos.process import SimProcess
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator", "MPIRank"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: nominal bytes a python object payload occupies on the wire when the
+#: caller does not say (pickle-ish small-object cost)
+_DEFAULT_PAYLOAD = 256
+
+
+class _Mailbox:
+    """Per-rank incoming message queue with (source, tag) matching."""
+
+    def __init__(self) -> None:
+        self.messages: List[Tuple[int, int, Any]] = []
+        self.waiters: List[Tuple[int, int, Completion]] = []
+
+    def deliver(self, source: int, tag: int, payload: Any) -> None:
+        for i, (want_src, want_tag, comp) in enumerate(self.waiters):
+            if want_src in (ANY_SOURCE, source) and want_tag in (ANY_TAG, tag):
+                del self.waiters[i]
+                comp.succeed((source, tag, payload))
+                return
+        self.messages.append((source, tag, payload))
+
+    def request(self, sim: Any, source: int, tag: int) -> Completion:
+        for i, (msg_src, msg_tag, payload) in enumerate(self.messages):
+            if source in (ANY_SOURCE, msg_src) and tag in (ANY_TAG, msg_tag):
+                del self.messages[i]
+                comp = Completion(sim, name="recv-ready")
+                comp.succeed((msg_src, msg_tag, payload))
+                return comp
+        comp = Completion(sim, name="recv-wait")
+        self.waiters.append((source, tag, comp))
+        return comp
+
+
+class _Collective:
+    """Shared state of one collective call instance."""
+
+    def __init__(self, sim: Any, name: str, size: int):
+        self.name = name
+        self.size = size
+        self.arrived = 0
+        self.values: Dict[int, Any] = {}
+        self.root: Optional[int] = None
+        self.release = Completion(sim, name="collective:%s" % name)
+
+
+class Communicator:
+    """Shared state of an MPI_COMM_WORLD-like communicator."""
+
+    def __init__(self, sim: Any, network: Any, size: int):
+        if size < 1:
+            raise RankError("communicator size must be >= 1")
+        self.sim = sim
+        self.network = network
+        self.size = size
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        # per-rank count of collective calls made, and the shared instances
+        self._collective_seq = [0] * size
+        self._collectives: Dict[int, _Collective] = {}
+        self.messages_sent = 0
+
+    def check_rank(self, rank: int) -> None:
+        """Raise :class:`RankError` unless ``rank`` is in this communicator."""
+        if not (0 <= rank < self.size):
+            raise RankError("rank %d out of range [0, %d)" % (rank, self.size))
+
+    # -- collectives ------------------------------------------------------------
+
+    def _tree_latency(self) -> float:
+        hops = max(1, math.ceil(math.log2(max(2, self.size))))
+        return hops * self.network.config.latency
+
+    def join_collective(
+        self, rank: int, name: str, value: Any = None, root: Optional[int] = None
+    ) -> Tuple[_Collective, bool]:
+        """Register ``rank``'s arrival at its next collective.
+
+        Returns ``(instance, is_last)``.  Raises
+        :class:`CollectiveMismatch` if this rank's call disagrees with the
+        instance already in flight.
+        """
+        index = self._collective_seq[rank]
+        self._collective_seq[rank] += 1
+        inst = self._collectives.get(index)
+        if inst is None:
+            inst = self._collectives[index] = _Collective(self.sim, name, self.size)
+            inst.root = root
+        else:
+            if inst.name != name:
+                raise CollectiveMismatch(
+                    "rank %d called %s while others called %s" % (rank, name, inst.name)
+                )
+            if root is not None and inst.root is not None and inst.root != root:
+                raise CollectiveMismatch(
+                    "rank %d used root %d; others used %d" % (rank, root, inst.root)
+                )
+            if inst.root is None:
+                inst.root = root
+        inst.values[rank] = value
+        inst.arrived += 1
+        is_last = inst.arrived == self.size
+        if is_last:
+            del self._collectives[index]
+        return inst, is_last
+
+
+class MPIRank:
+    """One rank's MPI handle: the API workloads program against.
+
+    Bundles the communicator, this rank's number, and the underlying
+    :class:`~repro.simos.process.SimProcess` whose seams tracers attach to.
+    All methods are generators (``yield from`` them).
+    """
+
+    def __init__(self, comm: Communicator, rank: int, proc: SimProcess):
+        comm.check_rank(rank)
+        self.comm = comm
+        self.rank = rank
+        self.proc = proc
+        self.sim = comm.sim
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    # -- non-communication queries -----------------------------------------------
+
+    def wtime(self) -> float:
+        """MPI_Wtime: the *local* node clock, skew, drift and all."""
+        return self.proc.node.now_local()
+
+    def get_rank(self) -> Generator[Any, Any, int]:
+        """MPI_Comm_rank as a traced library call."""
+
+        def body():
+            yield self.sim.timeout(0)
+            return self.rank
+
+        return self.proc._libcall("MPI_Comm_rank", ("MPI_COMM_WORLD",), body())
+
+    def get_size(self) -> Generator[Any, Any, int]:
+        """MPI_Comm_size as a traced library call."""
+
+        def body():
+            yield self.sim.timeout(0)
+            return self.comm.size
+
+        return self.proc._libcall("MPI_Comm_size", ("MPI_COMM_WORLD",), body())
+
+    # -- point-to-point --------------------------------------------------------------
+
+    def send(
+        self, dest: int, obj: Any, tag: int = 0, nbytes: Optional[int] = None
+    ) -> Generator[Any, Any, None]:
+        """MPI_Send: eager buffered send of a python object."""
+        self.comm.check_rank(dest)
+        payload_bytes = _DEFAULT_PAYLOAD if nbytes is None else nbytes
+
+        def body():
+            yield from self.comm.network.transfer(self.proc.node.nic, payload_bytes)
+            self.comm.mailboxes[dest].deliver(self.rank, tag, obj)
+            self.comm.messages_sent += 1
+            return None
+
+        return self.proc._libcall(
+            "MPI_Send", (dest, tag, payload_bytes), body(),
+            nbytes=payload_bytes, trace_result=0,
+        )
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Generator[Any, Any, Any]:
+        """MPI_Recv: blocks until a matching message arrives; returns the object."""
+        if source != ANY_SOURCE:
+            self.comm.check_rank(source)
+
+        def body():
+            src, t, payload = yield self.comm.mailboxes[self.rank].request(
+                self.sim, source, tag
+            )
+            return payload
+
+        return self.proc._libcall("MPI_Recv", (source, tag), body(), trace_result=0)
+
+    # -- collectives --------------------------------------------------------------------
+
+    def _collective_body(
+        self,
+        name: str,
+        value: Any,
+        root: Optional[int],
+        extract: Callable[[_Collective], Any],
+        payload_bytes: int = _DEFAULT_PAYLOAD,
+    ):
+        def body():
+            inst, is_last = self.comm.join_collective(self.rank, name, value, root)
+            if is_last:
+                # The last arriver pays the tree propagation, then frees all.
+                yield self.sim.timeout(self.comm._tree_latency())
+                if payload_bytes > 0:
+                    yield from self.comm.network.transfer(
+                        self.proc.node.nic, payload_bytes
+                    )
+                inst.release.succeed(None)
+            else:
+                yield inst.release
+            return extract(inst)
+
+        return body()
+
+    def barrier(self) -> Generator[Any, Any, None]:
+        """MPI_Barrier."""
+        return self.proc._libcall(
+            "MPI_Barrier",
+            ("MPI_COMM_WORLD",),
+            self._collective_body("barrier", None, None, lambda inst: None, 0),
+            trace_result=0,
+        )
+
+    def bcast(self, obj: Any, root: int = 0) -> Generator[Any, Any, Any]:
+        """MPI_Bcast: every rank returns the root's object."""
+        self.comm.check_rank(root)
+        return self.proc._libcall(
+            "MPI_Bcast",
+            (root,),
+            self._collective_body(
+                "bcast", obj, root, lambda inst: inst.values[inst.root]
+            ),
+            trace_result=0,
+        )
+
+    def gather(self, obj: Any, root: int = 0) -> Generator[Any, Any, Optional[List[Any]]]:
+        """MPI_Gather: root returns the rank-ordered list, others None."""
+        self.comm.check_rank(root)
+        me = self.rank
+        return self.proc._libcall(
+            "MPI_Gather",
+            (root,),
+            self._collective_body(
+                "gather",
+                obj,
+                root,
+                lambda inst: [inst.values[r] for r in range(inst.size)]
+                if me == inst.root
+                else None,
+            ),
+            trace_result=0,
+        )
+
+    def allgather(self, obj: Any) -> Generator[Any, Any, List[Any]]:
+        """MPI_Allgather: every rank returns the rank-ordered list."""
+        return self.proc._libcall(
+            "MPI_Allgather",
+            (),
+            self._collective_body(
+                "allgather",
+                obj,
+                None,
+                lambda inst: [inst.values[r] for r in range(inst.size)],
+            ),
+            trace_result=0,
+        )
+
+    def reduce(
+        self, value: Any, op: Callable[[Any, Any], Any] = lambda a, b: a + b, root: int = 0
+    ) -> Generator[Any, Any, Any]:
+        """MPI_Reduce: root returns the fold of all values, others None."""
+        self.comm.check_rank(root)
+        me = self.rank
+
+        def fold(inst: _Collective) -> Any:
+            if me != inst.root:
+                return None
+            acc = inst.values[0]
+            for r in range(1, inst.size):
+                acc = op(acc, inst.values[r])
+            return acc
+
+        return self.proc._libcall(
+            "MPI_Reduce", (root,),
+            self._collective_body("reduce", value, root, fold),
+            trace_result=0,
+        )
+
+    def allreduce(
+        self, value: Any, op: Callable[[Any, Any], Any] = lambda a, b: a + b
+    ) -> Generator[Any, Any, Any]:
+        """MPI_Allreduce: every rank returns the fold of all values."""
+
+        def fold(inst: _Collective) -> Any:
+            acc = inst.values[0]
+            for r in range(1, inst.size):
+                acc = op(acc, inst.values[r])
+            return acc
+
+        return self.proc._libcall(
+            "MPI_Allreduce", (),
+            self._collective_body("allreduce", value, None, fold),
+            trace_result=0,
+        )
+
+    def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Generator[Any, Any, Any]:
+        """MPI_Scatter: rank i returns root's ``objs[i]``."""
+        self.comm.check_rank(root)
+        me = self.rank
+
+        def extract(inst: _Collective) -> Any:
+            seq = inst.values[inst.root]
+            if seq is None or len(seq) != inst.size:
+                raise RankError("scatter root must supply one object per rank")
+            return seq[me]
+
+        return self.proc._libcall(
+            "MPI_Scatter", (root,),
+            self._collective_body("scatter", objs, root, extract),
+            trace_result=0,
+        )

@@ -1,0 +1,41 @@
+"""Optional zlib compression of binary trace payloads.
+
+Tracefs offers "optional ... compression ... of output" (§4.2).  A
+one-byte tag keeps compressed and raw payloads self-describing, so a
+reader needs no out-of-band flag.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.errors import TraceFormatError
+
+__all__ = ["compress", "decompress", "TAG_RAW", "TAG_ZLIB"]
+
+TAG_RAW = 0x00
+TAG_ZLIB = 0x01
+
+
+def compress(payload: bytes, enabled: bool = True, level: int = 6) -> bytes:
+    """Tag-and-maybe-compress.  Falls back to raw if compression grows it."""
+    if enabled:
+        packed = zlib.compress(payload, level)
+        if len(packed) < len(payload):
+            return bytes([TAG_ZLIB]) + packed
+    return bytes([TAG_RAW]) + payload
+
+
+def decompress(data: bytes) -> bytes:
+    """Invert :func:`compress`."""
+    if not data:
+        raise TraceFormatError("empty compressed payload")
+    tag, body = data[0], data[1:]
+    if tag == TAG_RAW:
+        return body
+    if tag == TAG_ZLIB:
+        try:
+            return zlib.decompress(body)
+        except zlib.error as exc:
+            raise TraceFormatError("corrupt zlib payload: %s" % exc) from None
+    raise TraceFormatError("unknown compression tag 0x%02x" % tag)

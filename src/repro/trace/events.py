@@ -1,0 +1,116 @@
+"""The trace event model.
+
+A single flat :class:`TraceEvent` record covers every event type the
+taxonomy enumerates (§3.1 "Event types"): system calls, library calls
+(MPI/MPI-IO functions), and file-system (VFS) operations.  One shared model
+— rather than per-framework formats — is deliberately the paper's
+future-work "single trace-data API": every framework in
+:mod:`repro.frameworks` emits these, and every codec, anonymizer, analysis
+tool, and replayer consumes them.
+
+Timestamps are **node-local** (from :class:`repro.cluster.clock.Clock`),
+exactly as a real tracer records them; converting to a global timeline
+requires the skew/drift machinery in :mod:`repro.analysis.skew`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Tuple
+
+__all__ = ["EventLayer", "TraceEvent"]
+
+
+class EventLayer(str, enum.Enum):
+    """Where in the stack an event was captured.
+
+    Mirrors the taxonomy's event-type distinctions:
+
+    * ``SYSCALL`` — system I/O calls (strace level; LANL-Trace with strace,
+      //TRACE's interposed I/O system calls);
+    * ``LIBCALL`` — linked library calls (ltrace level; MPI/MPI-IO
+      functions);
+    * ``VFS`` — file-system operations (the level Tracefs captures, which
+      sees events lower levels miss, e.g. memory-mapped I/O and NFS calls);
+    * ``NET`` — messages between nodes (the taxonomy's third event type).
+    """
+
+    SYSCALL = "syscall"
+    LIBCALL = "libcall"
+    VFS = "vfs"
+    NET = "net"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event.
+
+    Attributes
+    ----------
+    timestamp:
+        Node-local time at call entry (seconds, Unix-epoch-like).
+    duration:
+        Elapsed local time of the call — strace's ``<0.000034>`` suffix.
+    layer:
+        Capture layer, see :class:`EventLayer`.
+    name:
+        Function name in the style of the paper's Figure 1: ``SYS_open``,
+        ``SYS_write``, ``MPI_File_open``, ``vfs_write``...
+    args:
+        Printable argument tuple (strings, ints).  For replay and
+        anonymization, I/O-relevant arguments are *also* duplicated into
+        the typed fields below; ``args`` preserves presentation order.
+    result:
+        Return value (int or string form); None while/if unfinished.
+    pid / rank / hostname / user:
+        Identity of the caller.  ``user`` is sensitive and a target of
+        anonymization; ``rank`` is None for non-MPI processes.
+    path / fd / nbytes / offset:
+        Typed I/O fields for events that have them (None otherwise).
+    """
+
+    timestamp: float
+    duration: float
+    layer: EventLayer
+    name: str
+    args: Tuple[Any, ...] = ()
+    result: Optional[Any] = None
+    pid: int = 0
+    rank: Optional[int] = None
+    hostname: str = ""
+    user: str = ""
+    path: Optional[str] = None
+    fd: Optional[int] = None
+    nbytes: Optional[int] = None
+    offset: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("event duration must be non-negative")
+        if not isinstance(self.layer, EventLayer):
+            object.__setattr__(self, "layer", EventLayer(self.layer))
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+
+    # -- convenience ----------------------------------------------------------
+
+    @property
+    def end_timestamp(self) -> float:
+        """Local time at call return."""
+        return self.timestamp + self.duration
+
+    @property
+    def is_io(self) -> bool:
+        """True for events that move payload bytes (read/write style)."""
+        return self.nbytes is not None
+
+    def with_fields(self, **changes: Any) -> "TraceEvent":
+        """Return a copy with ``changes`` applied (events are immutable)."""
+        return replace(self, **changes)
+
+    def brief(self) -> str:
+        """One-line human summary (not the canonical text format)."""
+        argstr = ", ".join(repr(a) for a in self.args)
+        res = "" if self.result is None else " = %s" % (self.result,)
+        return "%s(%s)%s <%0.6f>" % (self.name, argstr, res, self.duration)

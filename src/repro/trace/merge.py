@@ -1,0 +1,61 @@
+"""Heterogeneous trace aggregation — the paper's future-work framework.
+
+§6: "We intend to build a common framework for diverse trace aggregation.
+With such a framework, we would be able to present a single trace-data API
+to developers."  Since every framework in this library already emits
+:class:`~repro.trace.events.TraceEvent`, aggregation is a merge: combine
+bundles from *different* frameworks (syscall traces + VFS traces + MPI
+traces of the same run, or of different runs) into one bundle keyed by
+source, with collision-free source ids and concatenated metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.trace.records import TraceBundle, TraceFile
+
+__all__ = ["merge_bundles", "interleave"]
+
+
+def merge_bundles(bundles: Iterable[Tuple[str, TraceBundle]]) -> TraceBundle:
+    """Merge named bundles into one.
+
+    ``bundles`` is an iterable of ``(label, bundle)``.  Source keys are
+    renumbered to avoid collisions; each merged file's ``framework`` tag
+    is prefixed with its label, and barrier stamps are concatenated (they
+    carry their own rank/label context).
+    """
+    merged = TraceBundle()
+    next_key = 0
+    sources: Dict[str, List[int]] = {}
+    for label, bundle in bundles:
+        keys = []
+        for key in sorted(bundle.files):
+            tf = bundle.files[key]
+            tagged = TraceFile(
+                tf.events,
+                hostname=tf.hostname,
+                pid=tf.pid,
+                rank=tf.rank,
+                framework="%s/%s" % (label, tf.framework) if tf.framework else label,
+            )
+            merged.add_file(next_key, tagged)
+            keys.append(next_key)
+            next_key += 1
+        merged.barrier_stamps.extend(bundle.barrier_stamps)
+        sources[label] = keys
+        for mk, mv in bundle.metadata.items():
+            merged.metadata.setdefault("%s.%s" % (label, mk), mv)
+    merged.metadata["merged_sources"] = sources
+    return merged
+
+
+def interleave(bundle: TraceBundle) -> List:
+    """All events of a bundle in (uncorrected) local-timestamp order.
+
+    For skew-corrected ordering use
+    :func:`repro.analysis.timeline.global_timeline`.
+    """
+    events = bundle.all_events()
+    return sorted(events, key=lambda e: (e.timestamp, e.rank or 0))

@@ -1,0 +1,92 @@
+"""The three parallel I/O access patterns of the paper (§4.1.2).
+
+    "First, N processors writing to N files [...].  Second, N processors
+    writing to a single file, with each processor writing to a single
+    contiguous spot within the file.  This behavior is called non-strided.
+    Third, again N processors writing to a single file, this time each
+    processor wrote to many spots within the file [...].  This is called
+    strided behavior."
+
+(See also paper reference [12] for the N-N / N-1 terminology.)
+
+The offset arithmetic lives here, separate from the workload driver, so it
+can be property-tested: for either N-1 pattern, the union of all ranks'
+blocks must tile the shared file exactly — every byte written once,
+no overlaps, no holes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Tuple
+
+__all__ = ["AccessPattern", "block_offset", "file_path_for_rank", "plan_io"]
+
+
+class AccessPattern(str, enum.Enum):
+    """How N processes place their blocks."""
+
+    N_TO_N = "n-to-n"
+    N_TO_1_NONSTRIDED = "n-to-1-nonstrided"
+    N_TO_1_STRIDED = "n-to-1-strided"
+
+    @property
+    def shared_file(self) -> bool:
+        return self is not AccessPattern.N_TO_N
+
+    @property
+    def strided(self) -> bool:
+        return self is AccessPattern.N_TO_1_STRIDED
+
+
+def block_offset(
+    pattern: AccessPattern, rank: int, size: int, block: int, block_size: int, nobj: int
+) -> int:
+    """File offset of ``rank``'s ``block``-th write.
+
+    * N-to-N: each rank owns its file; blocks are laid out contiguously.
+    * N-to-1 non-strided: rank r owns the contiguous region
+      ``[r * nobj * B, (r+1) * nobj * B)``.
+    * N-to-1 strided: block j of rank r lands at ``(j * size + r) * B`` —
+      round-robin interleaving that keeps "similar data grouped by
+      proximity within the file".
+    """
+    if not (0 <= rank < size):
+        raise ValueError("rank %d out of range" % rank)
+    if not (0 <= block < nobj):
+        raise ValueError("block %d out of range" % block)
+    if pattern is AccessPattern.N_TO_N:
+        return block * block_size
+    if pattern is AccessPattern.N_TO_1_NONSTRIDED:
+        return (rank * nobj + block) * block_size
+    if pattern is AccessPattern.N_TO_1_STRIDED:
+        return (block * size + rank) * block_size
+    raise ValueError("unknown pattern %r" % (pattern,))
+
+
+def file_path_for_rank(pattern: AccessPattern, base_path: str, rank: int) -> str:
+    """Target path: the shared file, or a per-rank file for N-to-N."""
+    if pattern is AccessPattern.N_TO_N:
+        return "%s.%d" % (base_path, rank)
+    return base_path
+
+
+def plan_io(
+    pattern: AccessPattern,
+    rank: int,
+    size: int,
+    block_size: int,
+    nobj: int,
+    base_path: str,
+) -> Iterator[Tuple[str, int, int]]:
+    """Yield ``(path, offset, nbytes)`` for every write of one rank, in order."""
+    path = file_path_for_rank(pattern, base_path, rank)
+    for block in range(nobj):
+        yield path, block_offset(pattern, rank, size, block, block_size, nobj), block_size
+
+
+def total_file_bytes(pattern: AccessPattern, size: int, block_size: int, nobj: int) -> int:
+    """Size of the (shared or each per-rank) file after a full run."""
+    if pattern is AccessPattern.N_TO_N:
+        return nobj * block_size
+    return size * nobj * block_size

@@ -1,0 +1,56 @@
+"""Clock skew/drift model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.clock import Clock
+from repro.errors import SimTimeError
+
+
+def test_perfect_clock_is_identity_plus_epoch():
+    c = Clock(epoch=100.0)
+    assert c.local(5.0) == 105.0
+    assert c.true(105.0) == 5.0
+
+
+def test_skew_shifts_constant():
+    c = Clock(skew=0.25)
+    assert c.local(0.0) == 0.25
+    assert c.local(10.0) == 10.25
+    # skew does not change over time when drift is zero
+    assert c.offset_at(0.0) == pytest.approx(c.offset_at(1000.0))
+
+
+def test_drift_changes_offset_over_time():
+    c = Clock(drift=1e-3)
+    # paper: "time drift is the change in time skew over time"
+    assert c.offset_at(0.0) == pytest.approx(0.0)
+    assert c.offset_at(100.0) == pytest.approx(0.1)
+    assert c.offset_at(200.0) > c.offset_at(100.0)
+
+
+def test_runaway_negative_drift_rejected():
+    with pytest.raises(SimTimeError):
+        Clock(drift=-1.0)
+
+
+@given(
+    skew=st.floats(-10, 10),
+    drift=st.floats(-1e-3, 1e-3),
+    epoch=st.floats(0, 2e9),
+    t=st.floats(0, 1e6),
+)
+def test_local_true_are_inverses(skew, drift, epoch, t):
+    c = Clock(skew=skew, drift=drift, epoch=epoch)
+    assert c.true(c.local(t)) == pytest.approx(t, abs=1e-6, rel=1e-9)
+
+
+@given(
+    drift=st.floats(-1e-4, 1e-4),
+    t1=st.floats(0, 1e6),
+    t2=st.floats(0, 1e6),
+)
+def test_clock_is_monotonic(drift, t1, t2):
+    c = Clock(skew=1.0, drift=drift, epoch=1e9)
+    lo, hi = min(t1, t2), max(t1, t2)
+    assert c.local(lo) <= c.local(hi)

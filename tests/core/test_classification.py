@@ -1,0 +1,182 @@
+"""Classification validation, features schema, tables, comparison."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core.classification import FrameworkClassification
+from repro.core.compare import compare_classifications
+from repro.core.casestudy import (
+    lanl_trace_classification,
+    paper_table2,
+    ptrace_classification,
+    tracefs_classification,
+)
+from repro.core.features import FEATURES, Feature, feature_domain, validate_value
+from repro.core.summary_table import render_csv, render_markdown, render_summary_table
+from repro.core.values import Likert, NA, OverheadReport, YesNo
+from repro.errors import FeatureValueError, MissingFeatureError
+
+
+class TestFeatureSchema:
+    def test_thirteen_features_in_table1_order(self):
+        assert len(FEATURES) == 13
+        assert FEATURES[0] is Feature.PARALLEL_FS_COMPATIBILITY
+        assert FEATURES[-1] is Feature.ELAPSED_TIME_OVERHEAD
+
+    def test_every_feature_has_a_domain(self):
+        for f in FEATURES:
+            assert feature_domain(f)
+
+    def test_validate_value(self):
+        validate_value(Feature.REPLAYABLE_GENERATION, YesNo.YES)
+        with pytest.raises(FeatureValueError):
+            validate_value(Feature.REPLAYABLE_GENERATION, "yes")
+        with pytest.raises(FeatureValueError):
+            validate_value(Feature.EASE_OF_INSTALLATION, YesNo.YES)
+
+    def test_na_allowed_only_where_paper_uses_it(self):
+        from repro.core.values import NotApplicable
+
+        allowed = {
+            f for f in FEATURES if NotApplicable in feature_domain(f)
+        }
+        assert allowed == {
+            Feature.REPLAY_FIDELITY,
+            Feature.SKEW_DRIFT_ACCOUNTING,
+            Feature.ELAPSED_TIME_OVERHEAD,
+        }
+
+
+class TestClassificationValidation:
+    def test_missing_feature_rejected(self):
+        values = dict(lanl_trace_classification()._values)
+        del values[Feature.ANALYSIS_TOOLS]
+        with pytest.raises(MissingFeatureError):
+            FrameworkClassification("x", values)
+
+    def test_wrong_value_type_rejected(self):
+        values = dict(lanl_trace_classification()._values)
+        values[Feature.ANALYSIS_TOOLS] = "nope"
+        with pytest.raises(FeatureValueError):
+            FrameworkClassification("x", values)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MissingFeatureError):
+            FrameworkClassification("", dict(lanl_trace_classification()._values))
+
+    def test_with_value_is_functional_update(self):
+        c = lanl_trace_classification()
+        c2 = c.with_value(Feature.EASE_OF_INSTALLATION, Likert(5, "V. Difficult"))
+        assert c2.cell(Feature.EASE_OF_INSTALLATION) == "5 (V. Difficult)"
+        assert c.cell(Feature.EASE_OF_INSTALLATION) == "2 (Easy)"
+
+    def test_iteration_and_as_dict(self):
+        c = tracefs_classification()
+        assert len(c) == 13
+        d = c.as_dict()
+        assert d["Trace data format"] == "Binary"
+        assert set(d) == {f.display_name for f in FEATURES}
+
+
+class TestCaseStudyTable2:
+    """The published Table 2 values, verbatim."""
+
+    def test_lanl_trace_column(self):
+        c = lanl_trace_classification()
+        assert c.cell(Feature.PARALLEL_FS_COMPATIBILITY) == "Yes"
+        assert c.cell(Feature.EASE_OF_INSTALLATION) == "2 (Easy)"
+        assert c.cell(Feature.ANONYMIZATION) == "No"
+        assert c.cell(Feature.EVENT_TYPES) == "Systems calls, library calls"
+        assert c.cell(Feature.GRANULARITY_CONTROL).startswith("1 (Simple)")
+        assert c.cell(Feature.REPLAYABLE_GENERATION) == "No"
+        assert c.cell(Feature.REPLAY_FIDELITY) == "N/A"
+        assert c.cell(Feature.REVEALS_DEPENDENCIES) == "No"
+        assert c.cell(Feature.INTRUSIVENESS) == "1 (Passive)"
+        assert c.cell(Feature.TRACE_FORMAT) == "Human readable"
+        assert c.cell(Feature.SKEW_DRIFT_ACCOUNTING) == "Yes"
+        assert c.cell(Feature.ELAPSED_TIME_OVERHEAD).startswith("24% - 222%")
+
+    def test_tracefs_column(self):
+        c = tracefs_classification()
+        assert c.cell(Feature.PARALLEL_FS_COMPATIBILITY) == "No"
+        assert c.cell(Feature.EASE_OF_INSTALLATION) == "4 (Difficult)"
+        assert c.cell(Feature.ANONYMIZATION).startswith("4 (Advanced)")
+        assert c.cell(Feature.EVENT_TYPES) == "File system operations"
+        assert c.cell(Feature.GRANULARITY_CONTROL).startswith("5 (V. Advanced)")
+        assert c.cell(Feature.TRACE_FORMAT) == "Binary"
+        assert c.cell(Feature.SKEW_DRIFT_ACCOUNTING) == "N/A"
+        assert "12.4" in c.cell(Feature.ELAPSED_TIME_OVERHEAD)
+
+    def test_ptrace_column(self):
+        c = ptrace_classification()
+        assert c.framework_name == "//TRACE"
+        assert c.cell(Feature.PARALLEL_FS_COMPATIBILITY) == "Yes"
+        assert c.cell(Feature.EVENT_TYPES) == "I/O System calls"
+        assert c.cell(Feature.GRANULARITY_CONTROL) == "No"
+        assert c.cell(Feature.REPLAYABLE_GENERATION) == "Yes"
+        assert c.cell(Feature.REPLAY_FIDELITY).startswith("As low as 6%")
+        assert c.cell(Feature.REVEALS_DEPENDENCIES) == "Yes"
+        assert c.cell(Feature.SKEW_DRIFT_ACCOUNTING) == "No"
+        assert "205" in c.cell(Feature.ELAPSED_TIME_OVERHEAD)
+
+    def test_overhead_override(self):
+        measured = OverheadReport(8.0, 180.0, note="measured")
+        c = lanl_trace_classification(overhead=measured)
+        assert "180" in c.cell(Feature.ELAPSED_TIME_OVERHEAD)
+
+
+class TestRendering:
+    def test_text_table_contains_all_rows_and_columns(self):
+        table = render_summary_table(list(paper_table2().values()))
+        for f in FEATURES:
+            assert f.display_name in table
+        for name in ("LANL-Trace", "Tracefs", "//TRACE"):
+            assert name in table
+
+    def test_single_framework_table(self):
+        assert "LANL-Trace" in render_summary_table(lanl_trace_classification())
+
+    def test_markdown_shape(self):
+        md = render_markdown(list(paper_table2().values()))
+        lines = md.strip().splitlines()
+        assert lines[0].startswith("| Feature |")
+        assert lines[1].startswith("|---")
+        assert len(lines) == 2 + len(FEATURES)
+
+    def test_csv_parses(self):
+        text = render_csv(list(paper_table2().values()))
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["Feature", "LANL-Trace", "Tracefs", "//TRACE"]
+        assert len(rows) == 1 + len(FEATURES)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_summary_table([])
+
+
+class TestComparison:
+    def test_diff_counts(self):
+        diff = compare_classifications(
+            lanl_trace_classification(), ptrace_classification()
+        )
+        # agree on: parallel-compat, ease, anonymization, intrusiveness,
+        # analysis tools, trace format
+        assert Feature.PARALLEL_FS_COMPATIBILITY in diff.same
+        assert Feature.REPLAYABLE_GENERATION in diff.different
+        assert diff.different[Feature.REPLAYABLE_GENERATION] == ("No", "Yes")
+        assert diff.n_differences + len(diff.same) == 13
+
+    def test_self_comparison_identical(self):
+        c = tracefs_classification()
+        diff = compare_classifications(c, c)
+        assert diff.n_differences == 0
+
+    def test_render_mentions_differing_features(self):
+        diff = compare_classifications(
+            lanl_trace_classification(), tracefs_classification()
+        )
+        text = diff.render()
+        assert "Trace data format" in text
+        assert "LANL-Trace vs Tracefs" in text

@@ -1,0 +1,120 @@
+"""Requirements -> recommendation engine tests (the Conclusion's logic)."""
+
+import pytest
+
+from repro.core.casestudy import paper_table2
+from repro.core.requirements import Recommendation, Requirements, recommend
+from repro.core.values import EventKind, TraceFormat
+
+
+def classifications():
+    return list(paper_table2().values())
+
+
+class TestPaperConclusions:
+    def test_replayable_parallel_user_gets_ptrace(self):
+        """'For some applications, accurate replayable traces are desired.
+        In this case, our taxonomy recommends that //TRACE should be
+        considered.' (§5)"""
+        recs = recommend(
+            Requirements(need_replayable=True, need_parallel_fs=True),
+            classifications(),
+        )
+        assert recs[0].framework_name == "//TRACE"
+        assert recs[0].qualifies
+        assert not any(r.qualifies for r in recs[1:])
+
+    def test_anonymization_user_rejects_lanl_trace(self):
+        """'for a tracing user who requires advanced features such as
+        anonymization ... LANL-Trace is inadequate' (§5)"""
+        recs = recommend(Requirements(min_anonymization=3), classifications())
+        by_name = {r.framework_name: r for r in recs}
+        assert not by_name["LANL-Trace"].qualifies
+        assert any("anonymization" in v for v in by_name["LANL-Trace"].violations)
+        assert by_name["Tracefs"].qualifies
+
+    def test_easy_install_user_avoids_tracefs(self):
+        """'one should anticipate considerable installation overhead' (§5)"""
+        recs = recommend(Requirements(max_install_difficulty=3), classifications())
+        by_name = {r.framework_name: r for r in recs}
+        assert not by_name["Tracefs"].qualifies
+        assert by_name["LANL-Trace"].qualifies
+        assert by_name["//TRACE"].qualifies
+
+    def test_skew_drift_user_gets_lanl_trace_only(self):
+        recs = recommend(
+            Requirements(need_skew_drift_accounting=True), classifications()
+        )
+        qualifying = [r.framework_name for r in recs if r.qualifies]
+        assert qualifying == ["LANL-Trace"]
+
+
+class TestConstraintMechanics:
+    def test_no_constraints_everything_qualifies(self):
+        recs = recommend(Requirements(), classifications())
+        assert all(r.qualifies for r in recs)
+        assert len(recs) == 3
+
+    def test_qualifiers_sorted_before_disqualified(self):
+        recs = recommend(Requirements(need_dependencies=True), classifications())
+        assert [r.qualifies for r in recs] == [True, False, False]
+
+    def test_event_kind_requirement(self):
+        recs = recommend(
+            Requirements(required_event_kinds={EventKind.FS_OPERATIONS}),
+            classifications(),
+        )
+        qualifying = [r.framework_name for r in recs if r.qualifies]
+        assert qualifying == ["Tracefs"]
+
+    def test_trace_format_requirement(self):
+        recs = recommend(
+            Requirements(trace_format=TraceFormat.BINARY), classifications()
+        )
+        assert [r.framework_name for r in recs if r.qualifies] == ["Tracefs"]
+
+    def test_overhead_bound(self):
+        recs = recommend(
+            Requirements(max_elapsed_overhead_percent=50.0), classifications()
+        )
+        by_name = {r.framework_name: r for r in recs}
+        assert by_name["Tracefs"].qualifies  # <=12.4%
+        assert not by_name["LANL-Trace"].qualifies  # up to 222%
+        assert not by_name["//TRACE"].qualifies  # up to 205%
+
+    def test_replay_error_bound(self):
+        recs = recommend(
+            Requirements(max_replay_error_percent=10.0), classifications()
+        )
+        assert [r.framework_name for r in recs if r.qualifies] == ["//TRACE"]
+        strict = recommend(
+            Requirements(max_replay_error_percent=2.0), classifications()
+        )
+        assert not any(r.qualifies for r in strict)
+
+    def test_granularity_requirement(self):
+        recs = recommend(
+            Requirements(min_granularity_control=2), classifications()
+        )
+        assert [r.framework_name for r in recs if r.qualifies] == ["Tracefs"]
+
+    def test_violations_explain_disqualification(self):
+        recs = recommend(
+            Requirements(need_replayable=True, min_anonymization=1),
+            classifications(),
+        )
+        for r in recs:
+            if not r.qualifies:
+                assert r.violations
+                assert "unsuitable" in r.render()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Requirements(min_anonymization=9)
+        with pytest.raises(ValueError):
+            Requirements(min_granularity_control=-1)
+
+    def test_intrusiveness_bound_all_pass(self):
+        # all three are fully passive (Table 2)
+        recs = recommend(Requirements(max_intrusiveness=1), classifications())
+        assert all(r.qualifies for r in recs)

@@ -1,0 +1,134 @@
+"""Taxonomy value-domain tests."""
+
+import pytest
+
+from repro.core.values import (
+    NA,
+    AnonymizationLevel,
+    EventKind,
+    EventTypes,
+    FidelityReport,
+    GranularityControl,
+    Likert,
+    NotApplicable,
+    OverheadReport,
+    TraceFormat,
+    YesNo,
+)
+from repro.errors import FeatureValueError
+
+
+class TestNotApplicable:
+    def test_singleton(self):
+        assert NotApplicable() is NA
+
+    def test_render(self):
+        assert NA.render() == "N/A"
+
+
+class TestYesNo:
+    def test_render(self):
+        assert YesNo.YES.render() == "Yes"
+        assert YesNo.NO.render() == "No"
+
+    def test_truthiness(self):
+        assert YesNo.YES
+        assert not YesNo.NO
+
+
+class TestLikert:
+    def test_range_enforced(self):
+        with pytest.raises(FeatureValueError):
+            Likert(0)
+        with pytest.raises(FeatureValueError):
+            Likert(6)
+
+    def test_render_with_label(self):
+        assert Likert(2, "Easy").render() == "2 (Easy)"
+        assert Likert(3).render() == "3"
+
+    def test_ordering(self):
+        assert Likert(1) < Likert(4)
+        assert Likert(2) <= Likert(2, "Easy")
+
+
+class TestAnonymizationLevel:
+    def test_zero_means_unsupported(self):
+        a = AnonymizationLevel(0)
+        assert not a.supported
+        assert a.render() == "No"
+
+    def test_levels_render_with_labels(self):
+        assert AnonymizationLevel(1).render() == "1 (Simple)"
+        assert AnonymizationLevel(4).render() == "4 (Advanced)"
+        assert AnonymizationLevel(5).render() == "5 (V. Advanced)"
+
+    def test_range(self):
+        with pytest.raises(FeatureValueError):
+            AnonymizationLevel(6)
+        with pytest.raises(FeatureValueError):
+            AnonymizationLevel(-1)
+
+
+class TestGranularityControl:
+    def test_table2_cells(self):
+        assert GranularityControl(1).render() == "1 (Simple)"
+        assert GranularityControl(5).render() == "5 (V. Advanced)"
+        assert GranularityControl(0).render() == "No"
+
+    def test_supported_flag(self):
+        assert GranularityControl(3).supported
+        assert not GranularityControl(0).supported
+
+
+class TestEventTypes:
+    def test_render_stable_order(self):
+        e = EventTypes({EventKind.LIBRARY_CALLS, EventKind.SYSTEM_CALLS})
+        assert e.render() == "Systems calls, library calls"
+
+    def test_empty_rejected(self):
+        with pytest.raises(FeatureValueError):
+            EventTypes(set())
+
+    def test_membership(self):
+        e = EventTypes({EventKind.FS_OPERATIONS})
+        assert EventKind.FS_OPERATIONS in e
+        assert EventKind.SYSTEM_CALLS not in e
+
+
+class TestOverheadReport:
+    def test_range_render(self):
+        assert OverheadReport(24.0, 222.0).render().startswith("24% - 222%")
+
+    def test_max_only(self):
+        assert OverheadReport(max_percent=12.4).render() == "<=12.4%"
+
+    def test_min_only(self):
+        assert OverheadReport(min_percent=5.0).render() == ">=5.0%"
+
+    def test_point_value(self):
+        assert OverheadReport(7.0, 7.0).render() == "7.0%"
+
+    def test_note_appended(self):
+        assert "(varies)" in OverheadReport(1.0, 2.0, note="varies").render()
+
+    def test_note_only(self):
+        assert OverheadReport(note="unmeasured").render() == "unmeasured"
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(FeatureValueError):
+            OverheadReport(10.0, 5.0)
+
+
+class TestFidelityReport:
+    def test_render(self):
+        assert FidelityReport(6.0).render() == "As low as 6%"
+
+    def test_negative_rejected(self):
+        with pytest.raises(FeatureValueError):
+            FidelityReport(-1.0)
+
+
+def test_trace_format_render():
+    assert TraceFormat.BINARY.render() == "Binary"
+    assert TraceFormat.HUMAN_READABLE.render() == "Human readable"

@@ -1,0 +1,108 @@
+"""Granularity spec language tests."""
+
+import pytest
+
+from repro.errors import FrameworkError
+from repro.frameworks.tracefs.granularity import GranularitySpec
+
+
+class TestParsing:
+    def test_empty_spec_traces_everything(self):
+        spec = GranularitySpec("")
+        assert len(spec) == 0
+        assert spec.should_trace("write")
+        assert spec.should_trace("stat")
+
+    def test_comments_and_blanks_ignored(self):
+        spec = GranularitySpec("# header comment\n\nomit stat  # trailing\n")
+        assert len(spec) == 1
+
+    def test_bad_leading_keyword(self):
+        with pytest.raises(FrameworkError):
+            GranularitySpec("record write")
+
+    def test_unknown_operation(self):
+        with pytest.raises(FrameworkError):
+            GranularitySpec("trace frobnicate")
+
+    def test_missing_ops(self):
+        with pytest.raises(FrameworkError):
+            GranularitySpec("trace")
+
+    def test_bad_clause_subject(self):
+        with pytest.raises(FrameworkError):
+            GranularitySpec("trace write if color = red")
+
+    def test_bad_size_operator(self):
+        with pytest.raises(FrameworkError):
+            GranularitySpec("trace write if size ~ 5")
+
+    def test_non_integer_bound(self):
+        with pytest.raises(FrameworkError):
+            GranularitySpec("trace write if size >= big")
+        with pytest.raises(FrameworkError):
+            GranularitySpec("trace write if uid = root")
+
+    def test_dangling_if(self):
+        with pytest.raises(FrameworkError):
+            GranularitySpec("trace write if")
+
+
+class TestMatching:
+    def test_omit_specific_ops(self):
+        spec = GranularitySpec("omit stat, fstat, readdir")
+        assert not spec.should_trace("stat")
+        assert not spec.should_trace("readdir")
+        assert spec.should_trace("write")  # default trace
+
+    def test_first_match_wins(self):
+        spec = GranularitySpec("trace write if size >= 4096\nomit write\ntrace *")
+        assert spec.should_trace("write", size=8192)
+        assert not spec.should_trace("write", size=100)
+        assert spec.should_trace("open")
+
+    def test_star_matches_all_ops(self):
+        spec = GranularitySpec("omit *")
+        for op in ("open", "write", "stat", "unlink"):
+            assert not spec.should_trace(op)
+
+    def test_path_glob(self):
+        spec = GranularitySpec('trace write if path glob "/data/*"\nomit write\ntrace *')
+        assert spec.should_trace("write", path="/data/file.out")
+        assert not spec.should_trace("write", path="/other/file.out")
+        assert not spec.should_trace("write", path=None)
+
+    def test_path_exact(self):
+        spec = GranularitySpec('omit open if path = "/etc/hosts"')
+        assert not spec.should_trace("open", path="/etc/hosts")
+        assert spec.should_trace("open", path="/etc/passwd")
+
+    def test_uid_clause(self):
+        spec = GranularitySpec("omit * if uid = 0")
+        assert not spec.should_trace("write", uid=0)
+        assert spec.should_trace("write", uid=1000)
+
+    def test_conjunction(self):
+        spec = GranularitySpec(
+            'trace write if path glob "/pfs/*" and size >= 1024\nomit write\ntrace *'
+        )
+        assert spec.should_trace("write", path="/pfs/x", size=2048)
+        assert not spec.should_trace("write", path="/pfs/x", size=100)
+        assert not spec.should_trace("write", path="/tmp/x", size=2048)
+
+    def test_size_operators(self):
+        for op, good, bad in [
+            (">=", 10, 9), ("<=", 10, 11), (">", 11, 10), ("<", 9, 10), ("=", 10, 11),
+        ]:
+            spec = GranularitySpec("trace write if size %s 10\nomit write" % op)
+            assert spec.should_trace("write", size=good), op
+            assert not spec.should_trace("write", size=bad), op
+
+    def test_multiple_ops_comma_separated(self):
+        spec = GranularitySpec("omit read, write")
+        assert not spec.should_trace("read")
+        assert not spec.should_trace("write")
+        assert spec.should_trace("fsync")
+
+    def test_trace_all_constructor(self):
+        assert GranularitySpec.trace_all().should_trace("anything-goes-to-default")

@@ -1,0 +1,182 @@
+"""Fault-injection layer tests, including tracer behaviour under faults."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.simfs.faults import FaultInjectingFS, FaultPlan, InjectedIOError
+from repro.simfs.localfs import LocalFS
+from repro.simfs.vfs import CallerContext, O_CREAT, O_WRONLY
+
+
+class FakeNode:
+    index = 0
+    hostname = "n0"
+
+    def now_local(self):
+        return 0.0
+
+
+def ctx():
+    return CallerContext(node=FakeNode(), pid=1, uid=1000, user="t")
+
+
+def make(plan, seed=0):
+    sim = Simulator(seed=seed)
+    lower = LocalFS(sim)
+    return sim, FaultInjectingFS(sim, lower, plan)
+
+
+class TestPlanValidation:
+    def test_rates_bounded(self):
+        with pytest.raises(ValueError):
+            FaultPlan(error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(delay_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(delay=-1)
+
+
+class TestInjection:
+    def test_zero_rates_transparent(self):
+        sim, fs = make(FaultPlan())
+
+        def body():
+            ino = yield from fs.op_open(ctx(), "f", O_WRONLY | O_CREAT)
+            yield from fs.op_write(ctx(), ino, 0, 100, stream="s")
+            return (yield from fs.op_fstat(ctx(), ino)).size
+
+        assert sim.run_process(body()) == 100
+        assert fs.errors_injected == 0
+
+    def test_certain_failure(self):
+        sim, fs = make(FaultPlan(error_rate=1.0, ops={"write"}))
+
+        def body():
+            ino = yield from fs.op_open(ctx(), "f", O_WRONLY | O_CREAT)
+            try:
+                yield from fs.op_write(ctx(), ino, 0, 100, stream="s")
+            except InjectedIOError:
+                return "EIO"
+
+        assert sim.run_process(body()) == "EIO"
+        assert fs.errors_injected == 1
+
+    def test_op_scoping(self):
+        sim, fs = make(FaultPlan(error_rate=1.0, ops={"unlink"}))
+
+        def body():
+            ino = yield from fs.op_open(ctx(), "f", O_WRONLY | O_CREAT)
+            yield from fs.op_write(ctx(), ino, 0, 100, stream="s")  # unaffected
+            return 0
+
+        assert sim.run_process(body()) == 0
+
+    def test_path_scoping(self):
+        sim, fs = make(FaultPlan(error_rate=1.0, path_substring="bad"))
+
+        def body():
+            yield from fs.op_open(ctx(), "good-file", O_WRONLY | O_CREAT)
+            try:
+                yield from fs.op_open(ctx(), "bad-file", O_WRONLY | O_CREAT)
+            except InjectedIOError:
+                return "EIO"
+
+        assert sim.run_process(body()) == "EIO"
+
+    def test_delay_injection_costs_time(self):
+        sim, fs = make(FaultPlan(delay_rate=1.0, delay=0.5, ops={"write"}))
+
+        def body():
+            ino = yield from fs.op_open(ctx(), "f", O_WRONLY | O_CREAT)
+            t0 = sim.now
+            yield from fs.op_write(ctx(), ino, 0, 100, stream="s")
+            return sim.now - t0
+
+        assert sim.run_process(body()) >= 0.5
+        assert fs.delays_injected == 1
+
+    def test_deterministic_per_seed(self):
+        def run(seed):
+            sim, fs = make(FaultPlan(error_rate=0.3, ops={"write"}), seed=seed)
+            failures = []
+
+            def body():
+                ino = yield from fs.op_open(ctx(), "f", O_WRONLY | O_CREAT)
+                for i in range(30):
+                    try:
+                        yield from fs.op_write(ctx(), ino, i * 10, 10, stream="s")
+                        failures.append(False)
+                    except InjectedIOError:
+                        failures.append(True)
+
+            sim.run_process(body())
+            return failures
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+        assert any(run(7)) and not all(run(7))
+
+
+class TestTracersUnderFaults:
+    def test_traced_run_records_errno_lines(self):
+        """strace-style capture of failed calls: '= -1 EIO'."""
+        from repro.cluster import Cluster, ClusterConfig
+        from repro.simfs.vfs import VFS
+        from repro.simos.interpose import Interposer
+        from repro.simos.process import SimProcess
+        from repro.trace.events import EventLayer
+        from repro.trace.records import TraceFile
+
+        cluster = Cluster(ClusterConfig(n_nodes=1, clock_skew_stddev=0, clock_drift_stddev=0))
+        sim = cluster.sim
+        lower = LocalFS(sim)
+        faulty = FaultInjectingFS(sim, lower, FaultPlan(error_rate=1.0, ops={"write"}))
+        vfs = VFS(sim)
+        vfs.mount("/", faulty)
+        proc = SimProcess(sim, cluster.node(0), vfs, pid=1)
+        sink = TraceFile()
+        proc.attach(Interposer(sink, per_event_cost=0), EventLayer.SYSCALL)
+
+        def body():
+            fd = yield from proc.open("/f", O_WRONLY | O_CREAT)
+            try:
+                yield from proc.write(fd, 100)
+            except InjectedIOError:
+                pass
+            yield from proc.close(fd)
+
+        sim.run_process(body())
+        write_events = [e for e in sink if e.name == "SYS_write"]
+        assert write_events[0].result == "-1 EIO"
+
+    def test_workload_survives_flaky_storage(self):
+        """End-to-end: a retry loop completes on a 20%-failure disk."""
+        from repro.cluster import Cluster, ClusterConfig
+        from repro.simfs.vfs import VFS
+        from repro.simmpi import mpirun
+
+        cluster = Cluster(ClusterConfig(n_nodes=1, seed=3))
+        sim = cluster.sim
+        faulty = FaultInjectingFS(
+            sim, LocalFS(sim), FaultPlan(error_rate=0.2, ops={"write"})
+        )
+        vfs = VFS(sim)
+        vfs.mount("/", faulty)
+
+        def app(mpi, args):
+            fd = yield from mpi.proc.open("/out", O_WRONLY | O_CREAT)
+            written = 0
+            attempts = 0
+            while written < 200 and attempts < 500:
+                attempts += 1
+                try:
+                    written += yield from mpi.proc.pwrite(fd, 10, written)
+                except InjectedIOError:
+                    continue
+            yield from mpi.proc.close(fd)
+            return written, attempts
+
+        job = mpirun(cluster, vfs, app, nprocs=1)
+        written, attempts = job.results[0]
+        assert written == 20 * 10
+        assert attempts > 20  # some retries actually happened

@@ -1,0 +1,11 @@
+"""CLI figure command (slow path, kept out of the main CLI test module)."""
+
+from repro.cli import main
+
+
+def test_figure_quick(capsys):
+    assert main(["figure", "4", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+    assert "64KiB" in out and "1MiB" in out
+    assert "BW ovh" in out

@@ -1,0 +1,46 @@
+"""The exception hierarchy's contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_simos_errors_carry_errno_names():
+    cases = {
+        errors.FileNotFound: "ENOENT",
+        errors.FileExists: "EEXIST",
+        errors.NotADirectory: "ENOTDIR",
+        errors.IsADirectory: "EISDIR",
+        errors.BadFileDescriptor: "EBADF",
+        errors.PermissionDenied: "EACCES",
+        errors.NoSpaceLeft: "ENOSPC",
+        errors.InvalidArgument: "EINVAL",
+        errors.CrossDeviceLink: "EXDEV",
+    }
+    for cls, errno_name in cases.items():
+        assert cls.errno_name == errno_name
+        assert issubclass(cls, errors.SimOSError)
+
+
+def test_deadlock_error_lists_blocked():
+    err = errors.DeadlockError(["a", "b"])
+    assert err.blocked == ["a", "b"]
+    assert "a" in str(err) and "b" in str(err)
+
+
+def test_trace_error_family():
+    assert issubclass(errors.TraceChecksumError, errors.TraceFormatError)
+    assert issubclass(errors.TraceTruncatedError, errors.TraceFormatError)
+    assert issubclass(errors.TraceFormatError, errors.TraceError)
+
+
+def test_catching_the_family_root():
+    with pytest.raises(errors.ReproError):
+        raise errors.StraceNotAvailable("no strace")

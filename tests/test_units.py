@@ -1,0 +1,130 @@
+"""Unit tests for byte/time unit helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bandwidth,
+    format_duration,
+    format_size,
+    parse_duration,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("512", 512),
+            ("512B", 512),
+            ("64KiB", 64 * KiB),
+            ("64KB", 64 * KiB),  # decimal suffixes alias binary (see module doc)
+            ("64k", 64 * KiB),
+            ("8192KB", 8192 * KiB),
+            ("1.5MiB", int(1.5 * MiB)),
+            ("2GiB", 2 * GiB),
+            ("2g", 2 * GiB),
+            (" 10 MiB ", 10 * MiB),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "abc", "10XB", "-5KiB", "1.0.0MiB"])
+    def test_unparseable(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("0.3B")
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0B"),
+            (512, "512B"),
+            (64 * KiB, "64KiB"),
+            (8 * MiB, "8MiB"),
+            (int(1.5 * MiB), "1.50MiB"),
+            (3 * GiB, "3GiB"),
+            (-64 * KiB, "-64KiB"),
+        ],
+    )
+    def test_examples(self, n, expected):
+        assert format_size(n) == expected
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_round_trip_exact_multiples(self, n):
+        # Whole multiples of a suffix must render without precision loss;
+        # inexact quotients render with a fraction (lossy by design).
+        rendered = format_size(n * KiB)
+        if "." not in rendered:
+            assert parse_size(rendered) == n * KiB
+
+
+class TestDurations:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1", 1.0),
+            ("1s", 1.0),
+            (2.5, 2.5),
+            ("15ms", 0.015),
+            ("3.2us", 3.2e-6),
+            ("10ns", 1e-8),
+            ("2min", 120.0),
+            ("1h", 3600.0),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_duration(text) == pytest.approx(expected)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_duration(-1.0)
+        with pytest.raises(ValueError):
+            parse_duration("bogus")
+
+    @pytest.mark.parametrize(
+        "seconds,contains",
+        [
+            (0.0, "0s"),
+            (2.0, "s"),
+            (0.005, "ms"),
+            (3e-6, "us"),
+            (5e-9, "ns"),
+            (90.0, "min"),
+            (7200.0, "h"),
+        ],
+    )
+    def test_format_units(self, seconds, contains):
+        assert contains in format_duration(seconds)
+
+    def test_format_negative(self):
+        assert format_duration(-1.0).startswith("-")
+
+
+class TestBandwidth:
+    def test_format(self):
+        assert format_bandwidth(64 * KiB) == "64KiB/s"
+
+    def test_nonfinite(self):
+        assert format_bandwidth(math.inf) == "inf/s"
+        assert format_bandwidth(math.nan) == "nan/s"

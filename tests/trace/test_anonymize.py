@@ -1,0 +1,145 @@
+"""Anonymization engine tests: both taxonomy levels."""
+
+import base64
+
+import pytest
+
+from repro.errors import AnonymizationError
+from repro.trace.anonymize import (
+    ANONYMIZABLE_FIELDS,
+    FieldSelectiveAnonymizer,
+    RandomizingAnonymizer,
+    anonymize_bundle,
+)
+from repro.trace.crypto import cbc_decrypt
+from repro.trace.events import EventLayer, TraceEvent
+from repro.trace.records import TraceBundle, TraceFile
+
+KEY = b"0123456789abcdef"
+
+
+def ev(**kw):
+    defaults = dict(
+        timestamp=1.0,
+        duration=0.1,
+        layer=EventLayer.SYSCALL,
+        name="SYS_open",
+        args=("/pfs/projects/secret-app/run42.out", 0),
+        result=3,
+        pid=10,
+        rank=0,
+        hostname="host13.lanl.gov",
+        user="jdoe",
+        path="/pfs/projects/secret-app/run42.out",
+        nbytes=None,
+    )
+    defaults.update(kw)
+    return TraceEvent(**defaults)
+
+
+class TestRandomizing:
+    def test_sensitive_fields_replaced(self):
+        anon = RandomizingAnonymizer()
+        out = anon(ev())
+        assert out.user != "jdoe"
+        assert out.hostname != "host13.lanl.gov"
+        assert "secret-app" not in (out.path or "")
+        assert all("secret-app" not in str(a) for a in out.args)
+
+    def test_consistent_pseudonyms(self):
+        """Same input maps to the same token — structure survives."""
+        anon = RandomizingAnonymizer()
+        a = anon(ev())
+        b = anon(ev(name="SYS_stat64"))
+        assert a.path == b.path
+        assert a.user == b.user
+
+    def test_different_inputs_differ(self):
+        anon = RandomizingAnonymizer()
+        a = anon(ev(user="alice"))
+        b = anon(ev(user="bob"))
+        assert a.user != b.user
+
+    def test_mount_prefix_preserved(self):
+        out = RandomizingAnonymizer()(ev())
+        assert out.path.startswith("/pfs/")
+
+    def test_fresh_instances_produce_unlinkable_tokens(self):
+        a = RandomizingAnonymizer()(ev()).user
+        b = RandomizingAnonymizer()(ev()).user
+        assert a != b  # mapping not derivable across runs
+
+    def test_field_selection(self):
+        anon = RandomizingAnonymizer(fields={"user"})
+        out = anon(ev())
+        assert out.user != "jdoe"
+        assert out.path == ev().path  # untouched
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(AnonymizationError):
+            RandomizingAnonymizer(fields={"nonsense"})
+
+    def test_untouched_event_returned_as_is(self):
+        anon = RandomizingAnonymizer(fields={"user"})
+        e = ev(user="")
+        assert anon(e) is e
+
+    def test_non_path_args_preserved(self):
+        out = RandomizingAnonymizer()(ev(args=("/pfs/x", 42, "flagtext")))
+        assert out.args[1] == 42
+        assert out.args[2] == "flagtext"
+
+
+class TestFieldSelective:
+    def test_encrypt_mode_is_recoverable_with_key(self):
+        """Tracefs's design: encryption, not true anonymization (§4.2)."""
+        anon = FieldSelectiveAnonymizer({"user"}, mode="encrypt", key=KEY)
+        out = anon(ev())
+        assert out.user.startswith("enc:")
+        blob = base64.urlsafe_b64decode(out.user[4:])
+        iv, ct = blob[:8], blob[8:]
+        assert cbc_decrypt(KEY, iv, ct) == b"jdoe"
+
+    def test_equal_values_stay_joinable(self):
+        anon = FieldSelectiveAnonymizer({"path"}, mode="encrypt", key=KEY)
+        a, b = anon(ev()), anon(ev(name="SYS_stat64"))
+        assert a.path == b.path
+
+    def test_encrypt_requires_key(self):
+        with pytest.raises(AnonymizationError):
+            FieldSelectiveAnonymizer({"user"}, mode="encrypt")
+        with pytest.raises(AnonymizationError):
+            FieldSelectiveAnonymizer({"user"}, mode="encrypt", key=b"short")
+
+    def test_randomize_mode_delegates(self):
+        anon = FieldSelectiveAnonymizer({"user"}, mode="randomize")
+        out = anon(ev())
+        assert out.user != "jdoe" and not out.user.startswith("enc:")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(AnonymizationError):
+            FieldSelectiveAnonymizer({"user"}, mode="shred")
+
+    def test_unselected_fields_untouched(self):
+        anon = FieldSelectiveAnonymizer({"user"}, mode="encrypt", key=KEY)
+        out = anon(ev())
+        assert out.hostname == "host13.lanl.gov"
+        assert out.path == ev().path
+
+
+class TestBundleAnonymization:
+    def test_whole_bundle(self):
+        bundle = TraceBundle(
+            files={
+                0: TraceFile([ev(rank=0)], rank=0),
+                1: TraceFile([ev(rank=1)], rank=1),
+            },
+            metadata={"workload": "mpi_io_test"},
+        )
+        out = anonymize_bundle(bundle, RandomizingAnonymizer())
+        assert all(
+            e.user != "jdoe" for e in out.all_events()
+        )
+        assert out.metadata["workload"] == "mpi_io_test"
+        # original unchanged (anonymize for release, keep the master)
+        assert all(e.user == "jdoe" for e in bundle.all_events())

@@ -1,0 +1,172 @@
+"""Binary codec tests: round-trips, buffering, compression, failure injection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceChecksumError, TraceFormatError, TraceTruncatedError
+from repro.trace.binary_format import (
+    decode_event_record,
+    decode_trace_file,
+    encode_event_record,
+    encode_trace_file,
+)
+from repro.trace.events import EventLayer, TraceEvent
+from repro.trace.records import TraceFile
+
+
+def sample_event(**kw):
+    defaults = dict(
+        timestamp=1159808385.170918,
+        duration=0.011131,
+        layer=EventLayer.VFS,
+        name="vfs_write",
+        args=(5, 0, 65536),
+        result=65536,
+        pid=4242,
+        rank=None,
+        hostname="node03",
+        user="jdoe",
+        path="/tmp/out.dat",
+        fd=5,
+        nbytes=65536,
+        offset=0,
+    )
+    defaults.update(kw)
+    return TraceEvent(**defaults)
+
+
+class TestRecordRoundTrip:
+    def test_single_record(self):
+        e = sample_event()
+        data = encode_event_record(e)
+        got, consumed = decode_event_record(data)
+        assert got == e
+        assert consumed == len(data)
+
+    def test_optional_fields_none(self):
+        e = sample_event(rank=None, fd=None, nbytes=None, offset=None, path=None, result=None)
+        got, _ = decode_event_record(encode_event_record(e))
+        assert got == e
+
+    def test_zero_valued_optionals_distinct_from_none(self):
+        e = sample_event(rank=0, fd=0, nbytes=0, offset=0)
+        got, _ = decode_event_record(encode_event_record(e))
+        assert got.rank == 0 and got.fd == 0 and got.nbytes == 0 and got.offset == 0
+
+    def test_truncated_record_detected(self):
+        data = encode_event_record(sample_event())
+        with pytest.raises(TraceTruncatedError):
+            decode_event_record(data[: len(data) // 2])
+
+
+_names = st.sampled_from(["vfs_write", "SYS_open", "MPI_File_read_at"])
+
+
+@st.composite
+def events(draw):
+    return TraceEvent(
+        timestamp=draw(st.floats(0, 2e9, allow_nan=False)),
+        duration=draw(st.floats(0, 1e4, allow_nan=False)),
+        layer=draw(st.sampled_from(list(EventLayer))),
+        name=draw(_names),
+        args=tuple(draw(st.lists(st.integers(-(1 << 31), 1 << 31) | st.text(max_size=20), max_size=4))),
+        result=draw(st.none() | st.integers(-(1 << 40), 1 << 40)),
+        pid=draw(st.integers(0, (1 << 32) - 1)),
+        rank=draw(st.none() | st.integers(-1, 1 << 20)),
+        hostname=draw(st.text(max_size=20)),
+        user=draw(st.text(max_size=10)),
+        path=draw(st.none() | st.text(min_size=1, max_size=40)),
+        fd=draw(st.none() | st.integers(0, 1 << 30)),
+        nbytes=draw(st.none() | st.integers(0, 1 << 50)),
+        offset=draw(st.none() | st.integers(0, 1 << 50)),
+    )
+
+
+class TestFileRoundTripProperties:
+    @given(
+        evs=st.lists(events(), max_size=30),
+        compressed=st.booleans(),
+        block=st.sampled_from([1, 3, 128]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, evs, compressed, block):
+        tf = TraceFile(evs, hostname="n", pid=9, rank=3, framework="tracefs")
+        blob = encode_trace_file(tf, compressed=compressed, block_records=block)
+        got = decode_trace_file(blob)
+        assert got.events == tf.events
+        assert got.rank == 3 and got.framework == "tracefs"
+
+    @given(evs=st.lists(events(), min_size=1, max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_compression_only_changes_size(self, evs):
+        tf = TraceFile(evs)
+        a = decode_trace_file(encode_trace_file(tf, compressed=True))
+        b = decode_trace_file(encode_trace_file(tf, compressed=False))
+        assert a.events == b.events
+
+
+class TestBinaryProperties:
+    def test_compression_shrinks_repetitive_traces(self):
+        tf = TraceFile([sample_event(timestamp=float(i)) for i in range(500)])
+        packed = encode_trace_file(tf, compressed=True)
+        raw = encode_trace_file(tf, compressed=False)
+        assert len(packed) < len(raw) / 2
+
+    def test_binary_is_smaller_than_text(self):
+        """The point of a binary format: 'save space' (§3.1)."""
+        from repro.trace.text_format import encode_trace_file as encode_text
+
+        tf = TraceFile([sample_event(timestamp=float(i)) for i in range(200)])
+        assert len(encode_trace_file(tf, compressed=False)) < len(
+            encode_text(tf).encode()
+        )
+
+    def test_block_records_validated(self):
+        with pytest.raises(TraceFormatError):
+            encode_trace_file(TraceFile(), block_records=0)
+
+
+class TestFailureInjection:
+    def blob(self, n=10, **kw):
+        tf = TraceFile([sample_event(timestamp=float(i)) for i in range(n)])
+        return encode_trace_file(tf, **kw)
+
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError):
+            decode_trace_file(b"NOPE" + self.blob()[4:])
+
+    def test_bad_version(self):
+        blob = bytearray(self.blob())
+        blob[4] = 99
+        with pytest.raises(TraceFormatError):
+            decode_trace_file(bytes(blob))
+
+    def test_truncation_detected_everywhere(self):
+        blob = self.blob(n=20, block_records=4)
+        for cut in (5, len(blob) // 3, len(blob) - 1):
+            with pytest.raises((TraceTruncatedError, TraceFormatError)):
+                decode_trace_file(blob[:cut])
+
+    def test_single_bit_flip_detected(self):
+        blob = bytearray(self.blob(n=8, compressed=False))
+        # flip a bit inside the last block's payload (past header frame)
+        blob[-3] ^= 0x40
+        with pytest.raises((TraceChecksumError, TraceFormatError)):
+            decode_trace_file(bytes(blob))
+
+    def test_event_count_mismatch_detected(self):
+        # corrupt by appending a duplicate final frame: count no longer matches
+        blob = self.blob(n=4, block_records=2, compressed=False)
+        # find the last frame and duplicate it
+        import struct
+
+        # header: magic(4) + version(2); then frames of (len,crc,payload)
+        pos = 6
+        frames = []
+        while pos < len(blob):
+            (length, _crc) = struct.unpack_from("<II", blob, pos)
+            frames.append((pos, 8 + length))
+            pos += 8 + length
+        start, size = frames[-1]
+        with pytest.raises(TraceFormatError):
+            decode_trace_file(blob + blob[start : start + size])

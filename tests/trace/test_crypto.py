@@ -1,0 +1,113 @@
+"""XTEA-CBC tests: inverses, avalanche, mode properties, validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnonymizationError
+from repro.trace.crypto import (
+    BLOCK_SIZE,
+    KEY_SIZE,
+    cbc_decrypt,
+    cbc_encrypt,
+    xtea_decrypt_block,
+    xtea_encrypt_block,
+)
+
+KEY = bytes(range(16))
+IV = bytes(range(8))
+
+
+class TestBlockCipher:
+    def test_encrypt_decrypt_inverse(self):
+        block = b"8bytes!!"
+        assert xtea_decrypt_block(KEY, xtea_encrypt_block(KEY, block)) == block
+
+    def test_known_nontrivial_output(self):
+        # ciphertext differs from plaintext and is deterministic
+        c1 = xtea_encrypt_block(KEY, b"\x00" * 8)
+        c2 = xtea_encrypt_block(KEY, b"\x00" * 8)
+        assert c1 == c2 != b"\x00" * 8
+
+    def test_key_sensitivity(self):
+        other = bytes(range(1, 17))
+        assert xtea_encrypt_block(KEY, b"A" * 8) != xtea_encrypt_block(other, b"A" * 8)
+
+    def test_avalanche(self):
+        a = xtea_encrypt_block(KEY, b"\x00" * 8)
+        b = xtea_encrypt_block(KEY, b"\x01" + b"\x00" * 7)
+        differing_bits = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert differing_bits > 16  # a single-bit change flips many output bits
+
+    def test_validation(self):
+        with pytest.raises(AnonymizationError):
+            xtea_encrypt_block(b"short", b"8bytes!!")
+        with pytest.raises(AnonymizationError):
+            xtea_encrypt_block(KEY, b"toolongblock")
+
+    @given(
+        key=st.binary(min_size=KEY_SIZE, max_size=KEY_SIZE),
+        block=st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_inverse_property(self, key, block):
+        assert xtea_decrypt_block(key, xtea_encrypt_block(key, block)) == block
+
+
+class TestCBC:
+    def test_round_trip(self):
+        msg = b"The quick brown fox jumps over the lazy dog"
+        assert cbc_decrypt(KEY, IV, cbc_encrypt(KEY, IV, msg)) == msg
+
+    def test_empty_plaintext(self):
+        assert cbc_decrypt(KEY, IV, cbc_encrypt(KEY, IV, b"")) == b""
+
+    def test_equal_blocks_encrypt_differently(self):
+        """The whole point of CBC over ECB."""
+        msg = b"AAAAAAAA" * 4
+        ct = cbc_encrypt(KEY, IV, msg)
+        blocks = [ct[i : i + 8] for i in range(0, len(ct), 8)]
+        assert len(set(blocks)) == len(blocks)
+
+    def test_iv_changes_ciphertext(self):
+        msg = b"hello world"
+        other_iv = bytes(range(1, 9))
+        assert cbc_encrypt(KEY, IV, msg) != cbc_encrypt(KEY, other_iv, msg)
+
+    def test_wrong_key_fails_padding_or_garbles(self):
+        ct = cbc_encrypt(KEY, IV, b"secret data here")
+        other = bytes(range(16, 32))
+        try:
+            out = cbc_decrypt(other, IV, ct)
+        except AnonymizationError:
+            return  # padding check caught it
+        assert out != b"secret data here"
+
+    def test_ciphertext_length_validation(self):
+        with pytest.raises(AnonymizationError):
+            cbc_decrypt(KEY, IV, b"notablockmultiple")
+
+    def test_iv_length_validation(self):
+        with pytest.raises(AnonymizationError):
+            cbc_encrypt(KEY, b"short", b"data")
+
+    def test_corrupted_padding_detected(self):
+        ct = bytearray(cbc_encrypt(KEY, IV, b"x"))
+        ct[-1] ^= 0xFF
+        with pytest.raises(AnonymizationError):
+            cbc_decrypt(KEY, IV, bytes(ct))
+
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        iv=st.binary(min_size=8, max_size=8),
+        msg=st.binary(max_size=300),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, key, iv, msg):
+        assert cbc_decrypt(key, iv, cbc_encrypt(key, iv, msg)) == msg
+
+    @given(msg=st.binary(max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_ciphertext_is_block_padded(self, msg):
+        ct = cbc_encrypt(KEY, IV, msg)
+        assert len(ct) % BLOCK_SIZE == 0
+        assert len(ct) >= len(msg)

@@ -1,0 +1,110 @@
+"""TraceEvent model and container tests."""
+
+import pytest
+
+from repro.trace.events import EventLayer, TraceEvent
+from repro.trace.records import BarrierStamp, TraceBundle, TraceFile
+
+
+def ev(name="SYS_write", ts=1.0, dur=0.01, **kw):
+    defaults = dict(
+        timestamp=ts,
+        duration=dur,
+        layer=EventLayer.SYSCALL,
+        name=name,
+        args=(3, "0x800", 4096),
+        result=4096,
+        pid=10,
+        rank=2,
+        hostname="h",
+        user="u",
+        nbytes=4096,
+    )
+    defaults.update(kw)
+    return TraceEvent(**defaults)
+
+
+class TestTraceEvent:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ev(dur=-0.1)
+
+    def test_layer_coerced_from_string(self):
+        e = ev(layer="vfs")
+        assert e.layer is EventLayer.VFS
+
+    def test_args_coerced_to_tuple(self):
+        e = ev(args=[1, 2])
+        assert e.args == (1, 2)
+
+    def test_end_timestamp(self):
+        assert ev(ts=5.0, dur=0.25).end_timestamp == 5.25
+
+    def test_is_io(self):
+        assert ev().is_io
+        assert not ev(nbytes=None).is_io
+
+    def test_with_fields_copies(self):
+        a = ev()
+        b = a.with_fields(user="anon")
+        assert b.user == "anon" and a.user == "u"
+        assert b.name == a.name
+
+    def test_brief_rendering(self):
+        text = ev(name="SYS_open", args=("/etc/hosts", 0), result=3).brief()
+        assert "SYS_open" in text and "'/etc/hosts'" in text and "= 3" in text
+
+
+class TestTraceFile:
+    def test_append_iterate_index(self):
+        tf = TraceFile()
+        tf.append(ev(ts=1.0))
+        tf.append(ev(ts=2.0))
+        assert len(tf) == 2
+        assert tf[1].timestamp == 2.0
+        assert [e.timestamp for e in tf] == [1.0, 2.0]
+
+    def test_filter_and_by_layer(self):
+        tf = TraceFile([ev(), ev(layer=EventLayer.LIBCALL, name="MPI_Barrier", nbytes=None)])
+        sys_only = tf.by_layer(EventLayer.SYSCALL)
+        assert sys_only.names() == ["SYS_write"]
+        big = tf.filter(lambda e: (e.nbytes or 0) > 0)
+        assert len(big) == 1
+
+    def test_total_bytes_and_span(self):
+        tf = TraceFile([ev(ts=1.0, dur=0.5), ev(ts=3.0, dur=0.25)])
+        assert tf.total_bytes() == 8192
+        assert tf.span() == pytest.approx(2.25)
+        assert TraceFile().span() == 0.0
+
+    def test_map_preserves_metadata(self):
+        tf = TraceFile([ev()], hostname="h1", pid=5, rank=1, framework="x")
+        out = tf.map(lambda e: e.with_fields(user="z"))
+        assert out.hostname == "h1" and out.rank == 1
+        assert out[0].user == "z"
+
+
+class TestBarrierStamp:
+    def test_exit_before_entry_rejected(self):
+        with pytest.raises(ValueError):
+            BarrierStamp("b", 0, "h", 1, entered_at=2.0, exited_at=1.0)
+
+
+class TestTraceBundle:
+    def test_all_events_source_order(self):
+        b = TraceBundle()
+        b.add_file(1, TraceFile([ev(ts=10.0)], rank=1))
+        b.add_file(0, TraceFile([ev(ts=20.0)], rank=0))
+        events = b.all_events()
+        # key order, not time order
+        assert [e.timestamp for e in events] == [20.0, 10.0]
+        assert b.total_events() == 2
+        assert b.n_sources == 2
+
+    def test_map_events(self):
+        b = TraceBundle(files={0: TraceFile([ev()])}, metadata={"k": "v"})
+        out = b.map_events(lambda e: e.with_fields(user="anon"))
+        assert out.files[0][0].user == "anon"
+        assert out.metadata == {"k": "v"}
+        # original untouched
+        assert b.files[0][0].user == "u"

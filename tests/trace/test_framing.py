@@ -1,0 +1,98 @@
+"""Checksum framing and compression tag tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceChecksumError, TraceFormatError, TraceTruncatedError
+from repro.trace.checksum import crc32, frame, unframe
+from repro.trace.compressio import TAG_RAW, TAG_ZLIB, compress, decompress
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = b"hello frames"
+        data = frame(payload)
+        got, end = unframe(data)
+        assert got == payload and end == len(data)
+
+    def test_multiple_frames_sequential(self):
+        data = frame(b"one") + frame(b"two") + frame(b"three")
+        out = []
+        pos = 0
+        while pos < len(data):
+            payload, pos = unframe(data, pos)
+            out.append(payload)
+        assert out == [b"one", b"two", b"three"]
+
+    def test_corruption_detected(self):
+        data = bytearray(frame(b"payload bytes"))
+        data[-1] ^= 0x01
+        with pytest.raises(TraceChecksumError):
+            unframe(bytes(data))
+
+    def test_checksum_disabled_skips_verification(self):
+        data = bytearray(frame(b"payload bytes", with_checksum=False))
+        data[-1] ^= 0x01  # silently accepted: crc field is zero
+        got, _ = unframe(bytes(data))
+        assert got != b"payload bytes"
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceTruncatedError):
+            unframe(b"\x01\x02")
+
+    def test_truncated_payload(self):
+        data = frame(b"full payload")
+        with pytest.raises(TraceTruncatedError):
+            unframe(data[:-3])
+
+    @given(payload=st.binary(max_size=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, payload):
+        got, end = unframe(frame(payload))
+        assert got == payload
+
+    def test_crc32_stable(self):
+        assert crc32(b"") == 0
+        assert crc32(b"abc") == crc32(b"abc")
+        assert crc32(b"abc") != crc32(b"abd")
+
+
+class TestCompression:
+    def test_round_trip_compressible(self):
+        data = b"abc" * 1000
+        packed = compress(data)
+        assert packed[0] == TAG_ZLIB
+        assert len(packed) < len(data)
+        assert decompress(packed) == data
+
+    def test_incompressible_falls_back_to_raw(self):
+        import os
+
+        data = os.urandom(64)
+        packed = compress(data)
+        assert packed[0] == TAG_RAW
+        assert decompress(packed) == data
+
+    def test_disabled_compression(self):
+        packed = compress(b"abc" * 100, enabled=False)
+        assert packed[0] == TAG_RAW
+
+    def test_empty_payload(self):
+        with pytest.raises(TraceFormatError):
+            decompress(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(TraceFormatError):
+            decompress(b"\x7fwhatever")
+
+    def test_corrupt_zlib_stream(self):
+        packed = bytearray(compress(b"abcdef" * 100))
+        assert packed[0] == TAG_ZLIB
+        packed[5] ^= 0xFF
+        with pytest.raises(TraceFormatError):
+            decompress(bytes(packed))
+
+    @given(payload=st.binary(max_size=2000), enabled=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, payload, enabled):
+        assert decompress(compress(payload, enabled=enabled)) == payload

@@ -1,0 +1,65 @@
+"""Heterogeneous trace aggregation tests (the future-work API)."""
+
+from repro.trace.events import EventLayer, TraceEvent
+from repro.trace.merge import interleave, merge_bundles
+from repro.trace.records import BarrierStamp, TraceBundle, TraceFile
+
+
+def ev(name, ts, rank=0, layer=EventLayer.SYSCALL):
+    return TraceEvent(
+        timestamp=ts, duration=0.0, layer=layer, name=name, rank=rank
+    )
+
+
+def make_bundles():
+    lanl = TraceBundle(
+        files={
+            0: TraceFile([ev("SYS_write", 1.0, 0)], rank=0, framework="lanl-trace"),
+            1: TraceFile([ev("SYS_write", 2.0, 1)], rank=1, framework="lanl-trace"),
+        },
+        barrier_stamps=[BarrierStamp("before x", 0, "h", 1, 0.5, 0.6)],
+        metadata={"mode": "ltrace"},
+    )
+    tracefs = TraceBundle(
+        files={0: TraceFile([ev("vfs_write", 1.5, 0, EventLayer.VFS)], framework="tracefs")},
+        metadata={"target_mount": "/tmp"},
+    )
+    return lanl, tracefs
+
+
+def test_merge_renumbers_sources():
+    lanl, tracefs = make_bundles()
+    merged = merge_bundles([("lanl", lanl), ("tfs", tracefs)])
+    assert merged.n_sources == 3
+    assert sorted(merged.files) == [0, 1, 2]
+    assert merged.total_events() == 3
+
+
+def test_merge_tags_frameworks_with_labels():
+    lanl, tracefs = make_bundles()
+    merged = merge_bundles([("lanl", lanl), ("tfs", tracefs)])
+    tags = {tf.framework for tf in merged.files.values()}
+    assert tags == {"lanl/lanl-trace", "tfs/tracefs"}
+
+
+def test_merge_carries_stamps_and_metadata():
+    lanl, tracefs = make_bundles()
+    merged = merge_bundles([("lanl", lanl), ("tfs", tracefs)])
+    assert len(merged.barrier_stamps) == 1
+    assert merged.metadata["lanl.mode"] == "ltrace"
+    assert merged.metadata["tfs.target_mount"] == "/tmp"
+    assert merged.metadata["merged_sources"] == {"lanl": [0, 1], "tfs": [2]}
+
+
+def test_interleave_orders_by_timestamp():
+    lanl, tracefs = make_bundles()
+    merged = merge_bundles([("lanl", lanl), ("tfs", tracefs)])
+    ordered = interleave(merged)
+    assert [e.timestamp for e in ordered] == [1.0, 1.5, 2.0]
+    assert [e.name for e in ordered] == ["SYS_write", "vfs_write", "SYS_write"]
+
+
+def test_merge_empty_list():
+    merged = merge_bundles([])
+    assert merged.n_sources == 0
+    assert interleave(merged) == []

@@ -1,0 +1,149 @@
+"""Human-readable codec tests, including property-based round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.trace.events import EventLayer, TraceEvent
+from repro.trace.records import TraceFile
+from repro.trace.text_format import (
+    decode_event,
+    decode_trace_file,
+    encode_event,
+    encode_trace_file,
+)
+
+
+def sample_event(**kw):
+    defaults = dict(
+        timestamp=1159808385.170918,
+        duration=0.000034,
+        layer=EventLayer.SYSCALL,
+        name="SYS_open",
+        args=("/etc/hosts", 0, 438),
+        result=3,
+        pid=10378,
+        rank=7,
+        hostname="host13.lanl.gov",
+        user="jdoe",
+        path="/etc/hosts",
+        fd=3,
+    )
+    defaults.update(kw)
+    return TraceEvent(**defaults)
+
+
+class TestEncodeEvent:
+    def test_figure1_style_line(self):
+        line = encode_event(sample_event(), annotated=False)
+        assert line == '1159808385.170918 SYS_open("/etc/hosts", 0, 438) = 3 <0.000034>'
+
+    def test_unfinished_rendering(self):
+        line = encode_event(sample_event(result=None), annotated=False)
+        assert line.endswith("<unfinished ...>")
+
+    def test_annotated_line_has_machine_tail(self):
+        line = encode_event(sample_event(), annotated=True)
+        assert "\t# {" in line and '"rank":7' in line
+
+
+class TestDecode:
+    def test_round_trip_annotated(self):
+        e = sample_event()
+        assert decode_event(encode_event(e)) == e
+
+    def test_bare_line_loses_only_identity(self):
+        e = sample_event()
+        got = decode_event(encode_event(e, annotated=False))
+        assert got.name == e.name
+        assert got.args == e.args
+        assert got.result == e.result
+        assert got.timestamp == pytest.approx(e.timestamp)
+        assert got.rank is None  # identity not present in bare dialect
+
+    def test_error_result_round_trips(self):
+        e = sample_event(result="-1 ENOENT")
+        assert decode_event(encode_event(e)).result == "-1 ENOENT"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TraceFormatError):
+            decode_event("not a trace line at all")
+
+    def test_bad_annotation_rejected(self):
+        with pytest.raises(TraceFormatError):
+            decode_event('1.0 SYS_open("/x") = 3 <0.1>\t# {broken json')
+
+    def test_string_args_with_commas_and_quotes(self):
+        e = sample_event(args=('weird, "path"', 1), path=None, fd=None)
+        assert decode_event(encode_event(e)).args == ('weird, "path"', 1)
+
+
+_names = st.sampled_from(
+    ["SYS_open", "SYS_write", "SYS_read", "MPI_File_open", "MPI_Barrier", "vfs_write"]
+)
+_texts = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=30
+)
+_args = st.tuples() | st.tuples(_texts) | st.tuples(_texts, st.integers(-5, 1 << 30), st.integers(0, 512))
+
+
+@st.composite
+def events(draw):
+    return TraceEvent(
+        timestamp=round(draw(st.floats(0, 2e9)), 6),
+        duration=round(draw(st.floats(0, 100)), 6),
+        layer=draw(st.sampled_from(list(EventLayer))),
+        name=draw(_names),
+        args=draw(_args),
+        result=draw(st.none() | st.integers(-1, 1 << 40) | st.just("-1 EIO")),
+        pid=draw(st.integers(0, 1 << 30)),
+        rank=draw(st.none() | st.integers(0, 4096)),
+        hostname=draw(st.sampled_from(["", "n01", "host13.lanl.gov"])),
+        user=draw(st.sampled_from(["", "jdoe", "u123"])),
+        path=draw(st.none() | st.just("/pfs/file.out")),
+        fd=draw(st.none() | st.integers(0, 1 << 16)),
+        nbytes=draw(st.none() | st.integers(0, 1 << 40)),
+        offset=draw(st.none() | st.integers(0, 1 << 50)),
+    )
+
+
+class TestPropertyRoundTrip:
+    @given(e=events())
+    @settings(max_examples=120, deadline=None)
+    def test_event_round_trip(self, e):
+        assert decode_event(encode_event(e)) == e
+
+    @given(
+        evs=st.lists(events(), max_size=20),
+        rank=st.none() | st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_trace_file_round_trip(self, evs, rank):
+        tf = TraceFile(evs, hostname="n01", pid=42, rank=rank, framework="lanl-trace")
+        got = decode_trace_file(encode_trace_file(tf))
+        assert got.events == tf.events
+        assert (got.hostname, got.pid, got.rank, got.framework) == (
+            "n01",
+            42,
+            rank,
+            "lanl-trace",
+        )
+
+
+class TestTraceFileFormat:
+    def test_header_lines_present(self):
+        tf = TraceFile([sample_event()], hostname="h", pid=1, rank=0, framework="f")
+        text = encode_trace_file(tf)
+        assert text.startswith("## repro-trace text v1\n")
+        assert "## hostname=h pid=1 rank=0 framework=f" in text
+
+    def test_comment_and_blank_lines_skipped(self):
+        text = (
+            "## repro-trace text v1\n"
+            "\n"
+            "# a stray comment\n"
+            + encode_event(sample_event())
+            + "\n"
+        )
+        tf = decode_trace_file(text)
+        assert len(tf) == 1

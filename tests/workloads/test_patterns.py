@@ -1,0 +1,98 @@
+"""Access-pattern arithmetic property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.patterns import (
+    AccessPattern,
+    block_offset,
+    file_path_for_rank,
+    plan_io,
+    total_file_bytes,
+)
+
+
+class TestBasics:
+    def test_pattern_flags(self):
+        assert AccessPattern.N_TO_1_STRIDED.shared_file
+        assert AccessPattern.N_TO_1_STRIDED.strided
+        assert AccessPattern.N_TO_1_NONSTRIDED.shared_file
+        assert not AccessPattern.N_TO_1_NONSTRIDED.strided
+        assert not AccessPattern.N_TO_N.shared_file
+
+    def test_file_paths(self):
+        assert file_path_for_rank(AccessPattern.N_TO_N, "/pfs/out", 3) == "/pfs/out.3"
+        assert (
+            file_path_for_rank(AccessPattern.N_TO_1_STRIDED, "/pfs/out", 3)
+            == "/pfs/out"
+        )
+
+    def test_bad_rank_and_block(self):
+        with pytest.raises(ValueError):
+            block_offset(AccessPattern.N_TO_N, 5, 4, 0, 1024, 2)
+        with pytest.raises(ValueError):
+            block_offset(AccessPattern.N_TO_N, 0, 4, 3, 1024, 2)
+
+    def test_strided_interleaves(self):
+        # paper Figure 1 command: -strided 1 -size 32768 -nobj 1
+        # rank r block j at (j*size + r) * B
+        assert block_offset(AccessPattern.N_TO_1_STRIDED, 0, 4, 0, 100, 2) == 0
+        assert block_offset(AccessPattern.N_TO_1_STRIDED, 1, 4, 0, 100, 2) == 100
+        assert block_offset(AccessPattern.N_TO_1_STRIDED, 0, 4, 1, 100, 2) == 400
+
+    def test_nonstrided_contiguous_regions(self):
+        assert block_offset(AccessPattern.N_TO_1_NONSTRIDED, 0, 4, 0, 100, 2) == 0
+        assert block_offset(AccessPattern.N_TO_1_NONSTRIDED, 0, 4, 1, 100, 2) == 100
+        assert block_offset(AccessPattern.N_TO_1_NONSTRIDED, 1, 4, 0, 100, 2) == 200
+
+
+@given(
+    pattern=st.sampled_from(
+        [AccessPattern.N_TO_1_STRIDED, AccessPattern.N_TO_1_NONSTRIDED]
+    ),
+    size=st.integers(1, 16),
+    nobj=st.integers(1, 16),
+    block_size=st.sampled_from([512, 4096, 65536]),
+)
+@settings(max_examples=60, deadline=None)
+def test_shared_file_tiled_exactly_once(pattern, size, nobj, block_size):
+    """The paper's N-1 patterns write a constant-size file: the union of
+    all ranks' blocks must cover it exactly — no overlap, no hole."""
+    covered = set()
+    for rank in range(size):
+        for path, offset, nbytes in plan_io(pattern, rank, size, block_size, nobj, "/f"):
+            assert nbytes == block_size
+            assert offset % block_size == 0
+            block_index = offset // block_size
+            assert block_index not in covered, "overlap at block %d" % block_index
+            covered.add(block_index)
+    assert covered == set(range(size * nobj))
+    assert total_file_bytes(pattern, size, block_size, nobj) == size * nobj * block_size
+
+
+@given(
+    size=st.integers(1, 8),
+    nobj=st.integers(1, 8),
+    block_size=st.sampled_from([512, 65536]),
+)
+@settings(max_examples=30, deadline=None)
+def test_n_to_n_private_contiguous(size, nobj, block_size):
+    for rank in range(size):
+        plans = list(
+            plan_io(AccessPattern.N_TO_N, rank, size, block_size, nobj, "/f")
+        )
+        assert all(p[0] == "/f.%d" % rank for p in plans)
+        offsets = [p[1] for p in plans]
+        assert offsets == [i * block_size for i in range(nobj)]
+    assert total_file_bytes(AccessPattern.N_TO_N, size, block_size, nobj) == nobj * block_size
+
+
+@given(size=st.integers(2, 16), nobj=st.integers(2, 16))
+@settings(max_examples=30, deadline=None)
+def test_strided_blocks_of_one_rank_are_not_adjacent(size, nobj):
+    offsets = [
+        block_offset(AccessPattern.N_TO_1_STRIDED, 0, size, j, 1, nobj)
+        for j in range(nobj)
+    ]
+    gaps = {b - a for a, b in zip(offsets, offsets[1:])}
+    assert gaps == {size}  # always jumps a full round of ranks
