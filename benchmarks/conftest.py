@@ -10,6 +10,13 @@ magnitudes — rather than absolute simulator numbers.
 import pytest
 
 
+def pytest_configure(config):
+    """Register the tier-2 ``slow`` marker used by the heavier benchmarks."""
+    config.addinivalue_line(
+        "markers", "slow: tier-2 benchmark, excluded from the fast suite"
+    )
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an expensive simulation exactly once under pytest-benchmark.
 

@@ -1,0 +1,83 @@
+"""Tier-2 bench: the parallel executor and run cache earn their keep.
+
+Two claims from the sweep-engine PR, measured on a real multi-point sweep
+and recorded into ``BENCH_sweep.json`` so the perf trajectory is tracked:
+
+* fanning sweep points over worker processes beats the serial wall-clock
+  (needs >= 2 CPUs; skipped on single-core runners);
+* a warm-cache rerun of the same sweep is >= 10x faster than the cold run
+  (determinism makes every point a pure disk lookup).
+
+Lives in ``benchmarks/`` (outside the tier-1 ``testpaths``) and is marked
+``slow`` so the fast suite never pays for it.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.figures import run_figures
+from repro.harness.runcache import RunCache
+from repro.units import KiB, MiB
+
+pytestmark = pytest.mark.slow
+
+N_CPUS = os.cpu_count() or 1
+SWEEP = dict(
+    figures=(2, 3, 4),
+    block_sizes=[64 * KiB, 256 * KiB],
+    total_bytes_per_rank=8 * MiB,
+    nprocs=16,
+    seed=0,
+)
+BENCH_OUT = Path(os.environ.get("BENCH_SWEEP_OUT", "BENCH_sweep.json"))
+
+
+def _write_bench(records):
+    """Merge this module's measurements into the BENCH_sweep.json artifact."""
+    bench = {"schema": "repro/bench_sweep/v1", "command": "benchmarks"}
+    if BENCH_OUT.exists():
+        try:
+            bench = json.loads(BENCH_OUT.read_text())
+        except ValueError:
+            pass
+    bench.setdefault("speedup", {}).update(records)
+    BENCH_OUT.write_text(json.dumps(bench, indent=2) + "\n")
+
+
+def test_parallel_beats_serial(once):
+    if N_CPUS < 2:
+        pytest.skip("parallel speedup needs >= 2 CPUs (found %d)" % N_CPUS)
+    serial = run_figures(jobs=1, **SWEEP)
+    parallel = once(run_figures, jobs=min(4, N_CPUS), **SWEEP)
+    t_s, t_p = serial.report.wall_seconds, parallel.report.wall_seconds
+    print(
+        "\nserial %.2fs vs parallel(jobs=%d) %.2fs -> %.2fx"
+        % (t_s, parallel.report.jobs, t_p, t_s / t_p)
+    )
+    _write_bench(
+        {
+            "serial_wall_seconds": t_s,
+            "parallel_wall_seconds": t_p,
+            "parallel_jobs": parallel.report.jobs,
+        }
+    )
+    assert parallel.series == serial.series  # identical output first
+    assert t_p < t_s
+
+
+def test_warm_cache_rerun_is_10x_faster(once, tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    cold = run_figures(jobs=1, cache=cache, **SWEEP)
+    warm = once(run_figures, jobs=1, cache=cache, **SWEEP)
+    t_cold, t_warm = cold.report.wall_seconds, warm.report.wall_seconds
+    print(
+        "\ncold %.2fs vs warm %.4fs -> %.0fx (hit rate %.0f%%)"
+        % (t_cold, t_warm, t_cold / t_warm, 100 * warm.report.cache_hit_rate)
+    )
+    _write_bench({"cold_wall_seconds": t_cold, "warm_wall_seconds": t_warm})
+    assert warm.series == cold.series
+    assert warm.report.cache_hit_rate == 1.0
+    assert t_warm * 10 <= t_cold

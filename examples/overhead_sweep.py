@@ -4,15 +4,19 @@
 The full evaluation sweep: for each access pattern, measures untraced and
 LANL-Trace-traced bandwidth across block sizes, prints the figure series
 with the paper's anchors, and reports the §4.1.1 elapsed-time overhead
-range.  This is the long-running example (a couple of minutes).
+range.  All points run as one flat sweep through the parallel executor —
+``--jobs N`` fans them over worker processes, and a deterministic run
+cache under ``.repro-cache/`` makes reruns near-instant (``--no-cache``
+to bypass).
 
-Run:  python examples/overhead_sweep.py [--quick]
+Run:  python examples/overhead_sweep.py [--quick] [--jobs N] [--no-cache]
 """
 
-import sys
+import argparse
 
-from repro.harness.figures import FIGURE_PATTERNS, figure_series
+from repro.harness.figures import run_figures
 from repro.harness.report import render_figure, render_overhead_range
+from repro.harness.runcache import RunCache
 from repro.units import KiB, MiB
 
 PAPER_ANCHORS = {
@@ -23,8 +27,13 @@ PAPER_ANCHORS = {
 
 
 def main() -> None:
-    quick = "--quick" in sys.argv
-    if quick:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="small fast sweep")
+    ap.add_argument("--jobs", type=int, default=1, help="worker processes")
+    ap.add_argument("--no-cache", action="store_true", help="bypass the run cache")
+    args = ap.parse_args()
+
+    if args.quick:
         blocks = [64 * KiB, 1024 * KiB]
         total = 8 * MiB
         nprocs = 16
@@ -33,19 +42,26 @@ def main() -> None:
         total = 32 * MiB
         nprocs = 32
 
-    overheads = []
-    for figno in sorted(FIGURE_PATTERNS):
-        print("measuring figure %d (%s)..." % (figno, FIGURE_PATTERNS[figno].value))
-        series = figure_series(
-            figno, block_sizes=blocks, total_bytes_per_rank=total, nprocs=nprocs
-        )
-        print(render_figure(series))
+    cache = None if args.no_cache else RunCache()
+    sweep = run_figures(
+        figures=(2, 3, 4),
+        block_sizes=blocks,
+        total_bytes_per_rank=total,
+        nprocs=nprocs,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    for figno in sorted(sweep.series):
+        print(render_figure(sweep.series[figno]))
         small, big = PAPER_ANCHORS[figno]
         print("paper anchors: %.1f%% @64KiB, %.1f%% @8192KiB\n" % (small, big))
-        overheads.extend(series.elapsed_overheads())
 
-    bounds = {"min": min(overheads), "max": max(overheads)}
-    print(render_overhead_range(bounds, 24, 222))
+    print(render_overhead_range(sweep.overhead_range, 24, 222))
+    r = sweep.report
+    print(
+        "%d points in %.2fs (jobs=%d, cache: %d hit / %d miss)"
+        % (r.n_points, r.wall_seconds, r.jobs, r.cache_hits, r.cache_misses)
+    )
 
 
 if __name__ == "__main__":

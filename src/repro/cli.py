@@ -9,8 +9,14 @@ Commands:
     One framework's classification as a Table-1-style reference card.
 ``recommend [constraint flags]``
     Formalize tracing requirements and rank the frameworks (§5).
-``figure N [--quick]``
+``figure N [--quick] [--jobs N] [--no-cache]``
     Regenerate Figure 2, 3 or 4 on the simulated testbed.
+``figures [--quick] [--jobs N] [--no-cache] [--bench-out PATH]``
+    Regenerate Figures 2-4 and the §4.1.1 overhead range as one sweep —
+    points fan out over ``--jobs`` worker processes, results are memoized
+    in ``.repro-cache/`` (disable with ``--no-cache``), and a
+    ``BENCH_sweep.json`` artifact records wall-clock per point, events/sec,
+    and the cache hit rate.
 ``summarize TRACE``
     Call summary of a trace file (text ``.trace`` or binary ``.bin``).
 ``convert IN OUT``
@@ -119,20 +125,90 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_shape(quick: bool):
+    from repro.units import KiB, MiB
+
+    if quick:
+        return [64 * KiB, 1024 * KiB], 8 * MiB, 16
+    return None, 32 * MiB, 32
+
+
+def _make_cache(args: argparse.Namespace):
+    if args.no_cache:
+        return None
+    from repro.harness.runcache import RunCache
+
+    return RunCache(args.cache_dir)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.harness.figures import figure_series
     from repro.harness.report import render_figure
-    from repro.units import KiB, MiB
 
-    if args.quick:
-        blocks: Optional[List[int]] = [64 * KiB, 1024 * KiB]
-        total, nprocs = 8 * MiB, 16
-    else:
-        blocks, total, nprocs = None, 32 * MiB, 32
+    blocks, total, nprocs = _sweep_shape(args.quick)
     series = figure_series(
-        args.number, block_sizes=blocks, total_bytes_per_rank=total, nprocs=nprocs
+        args.number,
+        block_sizes=blocks,
+        total_bytes_per_rank=total,
+        nprocs=nprocs,
+        jobs=args.jobs,
+        cache=_make_cache(args),
     )
     print(render_figure(series), end="")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.harness.figures import run_figures
+    from repro.harness.report import render_figure, render_overhead_range
+
+    blocks, total, nprocs = _sweep_shape(args.quick)
+    cache = _make_cache(args)
+    sweep = run_figures(
+        figures=(2, 3, 4),
+        block_sizes=blocks,
+        total_bytes_per_rank=total,
+        nprocs=nprocs,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    for figno in sorted(sweep.series):
+        print(render_figure(sweep.series[figno]), end="")
+        print()
+    print(render_overhead_range(sweep.overhead_range, 24, 222), end="")
+    report = sweep.report
+    print(
+        "\nsweep: %d points, jobs=%d, %.2fs wall, cache %d hit / %d miss"
+        % (
+            report.n_points,
+            report.jobs,
+            report.wall_seconds,
+            report.cache_hits,
+            report.cache_misses,
+        )
+    )
+    bench = {
+        "schema": "repro/bench_sweep/v1",
+        "command": "figures",
+        "quick": bool(args.quick),
+        "jobs": report.jobs,
+        "nprocs": nprocs,
+        "wall_seconds": report.wall_seconds,
+        "cache": {
+            "enabled": cache is not None,
+            "dir": None if cache is None else str(cache.root),
+            "hits": report.cache_hits,
+            "misses": report.cache_misses,
+            "hit_rate": report.cache_hit_rate,
+        },
+        "points": sweep.bench_points,
+        "elapsed_overhead_range": sweep.overhead_range,
+    }
+    if args.bench_out:
+        Path(args.bench_out).write_text(json.dumps(bench, indent=2) + "\n")
+        print("wrote %s" % args.bench_out)
     return 0
 
 
@@ -207,10 +283,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-overhead", type=float, default=None, metavar="PERCENT")
     p.set_defaults(fn=_cmd_recommend)
 
+    def add_sweep_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--quick", action="store_true", help="small fast sweep")
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for sweep points (default 1)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="bypass the deterministic run cache",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=".repro-cache",
+            metavar="DIR",
+            help="run cache directory (default .repro-cache)",
+        )
+
     p = sub.add_parser("figure", help="regenerate Figure 2, 3 or 4")
     p.add_argument("number", type=int, choices=(2, 3, 4))
-    p.add_argument("--quick", action="store_true", help="small fast sweep")
+    add_sweep_flags(p)
     p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser(
+        "figures", help="regenerate Figures 2-4 + overhead range as one sweep"
+    )
+    add_sweep_flags(p)
+    p.add_argument(
+        "--bench-out",
+        default="BENCH_sweep.json",
+        metavar="PATH",
+        help="write the sweep benchmark artifact here ('' to skip)",
+    )
+    p.set_defaults(fn=_cmd_figures)
 
     p = sub.add_parser("summarize", help="call summary of a trace file")
     p.add_argument("trace")

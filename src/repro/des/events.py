@@ -84,9 +84,13 @@ class Completion:
         return self
 
     def _dispatch(self) -> None:
+        # Direct queue push: settling is the kernel's hottest edge, and the
+        # zero delay needs no range check.
         callbacks, self._callbacks = self._callbacks, []
+        sim = self._sim
+        queue, now = sim._queue, sim._now
         for cb in callbacks:
-            self._sim.schedule(0.0, cb, self)
+            queue.push(now, cb, (self,))
 
     # -- waiting ----------------------------------------------------------
 

@@ -63,7 +63,9 @@ class Process:
         self.name = name
         self.daemon = daemon
         self.completion = Completion(sim, name="proc:%s" % name)
-        self._waiting_on: Optional[str] = None
+        # Raw blocking command (Timeout/Completion), a pre-formatted string
+        # for composite waits, or None when runnable.
+        self._waiting_on: Any = None
 
     # -- state ------------------------------------------------------------
 
@@ -74,13 +76,26 @@ class Process:
 
     @property
     def waiting_on(self) -> Optional[str]:
-        """Human-readable description of the current blocking command."""
-        return self._waiting_on
+        """Human-readable description of the current blocking command.
+
+        Formatted lazily: the hot resume path stores the raw command and
+        this property renders it only when a deadlock report (or a curious
+        test) actually asks.
+        """
+        w = self._waiting_on
+        if w is None or type(w) is str:
+            return w
+        if isinstance(w, Timeout):
+            return "timeout(%g)" % w.delay
+        if isinstance(w, Completion):
+            return "completion(%s)" % (w.name or "?")
+        return repr(w)  # pragma: no cover - no other command is stored raw
 
     # -- kernel driving ---------------------------------------------------
 
     def _start(self) -> None:
-        self._sim.schedule(0.0, self._resume_send, None)
+        sim = self._sim
+        sim._queue.push(sim._now, self._resume_send, (None,))
 
     def _resume_send(self, value: Any) -> None:
         """Resume the generator with ``value`` from the settled command."""
@@ -112,11 +127,25 @@ class Process:
 
     def _handle(self, command: Any) -> None:
         """Arrange for the process to be resumed when ``command`` settles."""
-        if isinstance(command, Timeout):
-            self._waiting_on = "timeout(%g)" % command.delay
+        # Fast paths for the two commands that dominate every simulation.
+        # The raw command is stored instead of a formatted description
+        # (see ``waiting_on``), and a validated Timeout goes straight onto
+        # the queue — its delay was range-checked at construction, so the
+        # ``schedule()`` wrapper's re-check is redundant.  Exact-type tests
+        # keep subclasses on the general isinstance path below.
+        cls = command.__class__
+        if cls is Timeout:
+            self._waiting_on = command
+            sim = self._sim
+            sim._queue.push(sim._now + command.delay, self._resume_send, (command.value,))
+        elif cls is Completion:
+            self._waiting_on = command
+            command.add_callback(self._on_completion)
+        elif isinstance(command, Timeout):
+            self._waiting_on = command
             self._sim.schedule(command.delay, self._resume_send, command.value)
         elif isinstance(command, Completion):
-            self._waiting_on = "completion(%s)" % (command.name or "?")
+            self._waiting_on = command
             command.add_callback(self._on_completion)
         elif isinstance(command, AllOf):
             self._wait_all(command)

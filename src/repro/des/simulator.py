@@ -7,10 +7,18 @@ deadlock in the simulated system and raises
 :class:`~repro.errors.DeadlockError` with the culprits' names — silent
 hangs are the worst failure mode of a simulated cluster, so they are loud
 here.
+
+Two run loops are provided.  :meth:`Simulator.run` validates every event
+against backwards time travel; :meth:`Simulator.run_fast` performs that
+check only for the first ``check_first`` events and then drops it from
+the hot loop.  Both dispatch exactly the same events in exactly the same
+order — the fast loop changes per-event overhead, never history — so
+``events_executed`` fingerprints are identical between them.
 """
 
 from __future__ import annotations
 
+from heapq import heappop
 from typing import Any, Callable, Generator, Optional
 
 from repro.des.events import Completion, Timeout
@@ -33,6 +41,8 @@ class Simulator:
         identical histories.
     """
 
+    __slots__ = ("_now", "_queue", "_live", "random", "seed", "_events_executed")
+
     def __init__(self, seed: int = 0):
         self._now = 0.0
         self._queue = EventQueue()
@@ -52,6 +62,17 @@ class Simulator:
     def events_executed(self) -> int:
         """Total kernel events dispatched so far (a determinism fingerprint)."""
         return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled events not yet dispatched."""
+        return len(self._queue)
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no events remain to dispatch (a ``run()`` would return
+        immediately, or raise if non-daemon processes are still blocked)."""
+        return not self._queue
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
@@ -95,34 +116,78 @@ class Simulator:
 
     # -- run loop -------------------------------------------------------------
 
-    def run(self, until: Optional[float] = None) -> float:
-        """Execute events until the queue drains (or simulated ``until``).
-
-        Returns the final simulated time.  Raises
-        :class:`~repro.errors.DeadlockError` if the queue drains while
-        non-daemon processes remain blocked.
-        """
-        while self._queue:
-            t = self._queue.peek_time()
-            if until is not None and t > until:
-                self._now = until
-                return self._now
-            t, callback, args = self._queue.pop()
-            if t < self._now:
-                raise SimTimeError(
-                    "event queue went backwards: %r < %r" % (t, self._now)
-                )
-            self._now = t
-            self._events_executed += 1
-            callback(*args)
-        blocked = [p.name for p in self._live.values() if not p.daemon]
-        if blocked:
+    def _raise_if_deadlocked(self) -> None:
+        """Queue is drained: blocked non-daemon processes mean a deadlock."""
+        if any(not p.daemon for p in self._live.values()):
             details = [
                 "%s (waiting on %s)" % (p.name, p.waiting_on or "nothing?")
                 for p in self._live.values()
                 if not p.daemon
             ]
             raise DeadlockError(details)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the queue drains (or simulated ``until``).
+
+        Returns the final simulated time.  Raises
+        :class:`~repro.errors.DeadlockError` if the queue drains while
+        non-daemon processes remain blocked.  Stopping at ``until`` leaves
+        later events queued (see :attr:`pending_events`); a subsequent
+        ``run()`` resumes from them.
+        """
+        # Hot loop: the queue's raw heap and heappop are hoisted to locals
+        # so each event costs two fewer attribute lookups.
+        heap = self._queue._heap
+        pop = heappop
+        executed = 0
+        try:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self._now = until
+                    return until
+                t, _seq, callback, args = pop(heap)
+                if t < self._now:
+                    raise SimTimeError(
+                        "event queue went backwards: %r < %r" % (t, self._now)
+                    )
+                self._now = t
+                executed += 1
+                callback(*args)
+        finally:
+            self._events_executed += executed
+        self._raise_if_deadlocked()
+        return self._now
+
+    def run_fast(self, until: Optional[float] = None, check_first: int = 512) -> float:
+        """Like :meth:`run`, with the backwards-time check dropped after the
+        first ``check_first`` events.
+
+        The check is a pure sanity assertion — it never alters dispatch
+        order — so this loop produces byte-identical histories and
+        ``events_executed`` fingerprints while shaving a comparison and a
+        branch off every event past the warm-up window.  Scheduling bugs
+        that push events into the past are still caught during the window
+        (and by :meth:`run`, which the test suite exercises throughout).
+        """
+        heap = self._queue._heap
+        pop = heappop
+        executed = 0
+        try:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self._now = until
+                    return until
+                t, _seq, callback, args = pop(heap)
+                if executed < check_first and t < self._now:
+                    raise SimTimeError(
+                        "event queue went backwards: %r < %r" % (t, self._now)
+                    )
+                self._now = t
+                executed += 1
+                callback(*args)
+        finally:
+            self._events_executed += executed
+        self._raise_if_deadlocked()
         return self._now
 
     def run_process(self, gen: Generator[Any, Any, Any], name: str = "main") -> Any:

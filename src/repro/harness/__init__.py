@@ -5,6 +5,10 @@
   scratch at ``/tmp``), mirroring the paper's testbed;
 * :mod:`repro.harness.experiment` — traced-vs-untraced measurement
   protocol and parameter sweeps;
+* :mod:`repro.harness.parallel` — pickle-safe run specs and the
+  process-pool sweep executor;
+* :mod:`repro.harness.runcache` — content-addressed on-disk cache of
+  sweep-point results (determinism makes every point replayable);
 * :mod:`repro.harness.figures` — series generators for the paper's
   Figures 2-4;
 * :mod:`repro.harness.report` — paper-style text rendering of results.
@@ -17,6 +21,15 @@ from repro.harness.experiment import (
     run_untraced,
     sweep_block_sizes,
 )
+from repro.harness.parallel import (
+    FrameworkSpec,
+    PointResult,
+    RunSpec,
+    SweepReport,
+    execute_spec,
+    run_sweep,
+)
+from repro.harness.runcache import RunCache
 
 __all__ = [
     "Testbed",
@@ -26,4 +39,11 @@ __all__ = [
     "measure_overhead",
     "run_untraced",
     "sweep_block_sizes",
+    "FrameworkSpec",
+    "PointResult",
+    "RunSpec",
+    "SweepReport",
+    "execute_spec",
+    "run_sweep",
+    "RunCache",
 ]

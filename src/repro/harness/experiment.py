@@ -32,6 +32,7 @@ __all__ = [
     "run_untraced",
     "run_traced",
     "measure_overhead",
+    "sweep_args_for_block_size",
     "sweep_block_sizes",
 ]
 
@@ -40,11 +41,17 @@ FrameworkFactory = Callable[[], TracingFramework]
 
 @dataclass(frozen=True)
 class RunOutcome:
-    """One application run on a fresh testbed."""
+    """One application run on a fresh testbed.
+
+    ``events_executed`` is the testbed simulator's kernel-event count at
+    job end — a determinism fingerprint: two runs of the same spec must
+    match it exactly (the run cache verifies this on every hit).
+    """
 
     elapsed: float
     bytes_moved: int
     job: JobResult
+    events_executed: int = 0
 
     @property
     def aggregate_bandwidth(self) -> float:
@@ -55,11 +62,13 @@ class RunOutcome:
 
 
 def _total_payload(job: JobResult) -> int:
+    # Read and written bytes count independently: a read-only workload
+    # (read_back replays, pseudo-app reads) has no ``bytes_written``
+    # attribute yet still moves payload.
     total = 0
     for r in job.results:
-        written = getattr(r, "bytes_written", None)
-        if written is not None:
-            total += written + getattr(r, "bytes_read", 0)
+        total += int(getattr(r, "bytes_written", 0) or 0)
+        total += int(getattr(r, "bytes_read", 0) or 0)
     return total
 
 
@@ -78,7 +87,12 @@ def run_untraced(
     """
     tb = build_testbed(config, seed=seed)
     job = mpirun(tb.cluster, tb.vfs, workload, nprocs=nprocs, args=workload_args)
-    return RunOutcome(elapsed=job.elapsed, bytes_moved=_total_payload(job), job=job)
+    return RunOutcome(
+        elapsed=job.elapsed,
+        bytes_moved=_total_payload(job),
+        job=job,
+        events_executed=tb.sim.events_executed,
+    )
 
 
 def run_traced(
@@ -105,7 +119,12 @@ def run_traced(
     bundle = framework.finalize(job)
     traced = TracedRun(framework_name=framework.name, job=job, bundle=bundle)
     return (
-        RunOutcome(elapsed=job.elapsed, bytes_moved=_total_payload(job), job=job),
+        RunOutcome(
+            elapsed=job.elapsed,
+            bytes_moved=_total_payload(job),
+            job=job,
+            events_executed=tb.sim.events_executed,
+        ),
         traced,
     )
 
@@ -156,25 +175,62 @@ def measure_overhead(
     )
 
 
+def sweep_args_for_block_size(
+    base_args: Dict[str, Any], block_size: int, total_bytes_per_rank: int
+) -> Dict[str, Any]:
+    """Workload args for one sweep point at constant bytes per rank.
+
+    The paper holds file size constant and varies block size, so the
+    number of objects per rank is ``total_bytes_per_rank // block_size``.
+    """
+    nobj = max(1, total_bytes_per_rank // block_size)
+    return dict(base_args, block_size=block_size, nobj=nobj)
+
+
 def sweep_block_sizes(
-    framework_factory: FrameworkFactory,
-    workload: Callable,
+    framework_factory: Any,
+    workload: Any,
     base_args: Dict[str, Any],
     block_sizes: Iterable[int],
     total_bytes_per_rank: int,
     config: Optional[TestbedConfig] = None,
     nprocs: Optional[int] = None,
     seed: Optional[int] = None,
-) -> List[OverheadMeasurement]:
+    jobs: int = 1,
+    cache: Optional[Any] = None,
+) -> List[Any]:
     """Measure overhead across block sizes at constant bytes per rank.
 
-    The paper holds file size constant and varies block size, so the
-    number of objects per rank is ``total_bytes_per_rank // block_size``.
+    With the defaults this is the original serial protocol and returns
+    :class:`OverheadMeasurement` objects (carrying live trace bundles).
+    Passing ``jobs > 1``, a :class:`~repro.harness.runcache.RunCache`, or a
+    pickle-safe framework spec (a :class:`~repro.harness.parallel.FrameworkSpec`
+    or registered factory name instead of a closure) routes the sweep
+    through :func:`repro.harness.parallel.run_sweep` and returns
+    :class:`~repro.harness.parallel.PointResult` objects — same overhead
+    numbers and fingerprints, no live simulator state.
     """
+    from repro.harness.parallel import FrameworkSpec, build_sweep_specs, run_sweep
+
+    if jobs != 1 or cache is not None or isinstance(framework_factory, (FrameworkSpec, str)):
+        specs = build_sweep_specs(
+            framework_factory,
+            workload,
+            base_args,
+            block_sizes,
+            total_bytes_per_rank,
+            config=config,
+            nprocs=nprocs,
+            seed=seed,
+        )
+        return run_sweep(specs, jobs=jobs, cache=cache).points
+    if isinstance(workload, str):
+        from repro.harness.parallel import WORKLOADS
+
+        workload = WORKLOADS[workload]
     out: List[OverheadMeasurement] = []
     for bs in block_sizes:
-        nobj = max(1, total_bytes_per_rank // bs)
-        args = dict(base_args, block_size=bs, nobj=nobj)
+        args = sweep_args_for_block_size(base_args, bs, total_bytes_per_rank)
         out.append(
             measure_overhead(framework_factory, workload, args, config, nprocs, seed)
         )

@@ -18,23 +18,30 @@ overhead percentages and their block-size/pattern structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.network import NetworkConfig
-from repro.frameworks.lanltrace import LANLTrace, LANLTraceConfig
-from repro.harness.experiment import OverheadMeasurement, sweep_block_sizes
+from repro.harness.experiment import sweep_block_sizes
+from repro.harness.parallel import (
+    FrameworkSpec,
+    SweepReport,
+    build_sweep_specs,
+    run_sweep,
+)
 from repro.harness.testbed import TestbedConfig
 from repro.simfs.pfs import PFSParams
 from repro.units import KiB, MiB
-from repro.workloads import AccessPattern, mpi_io_test
+from repro.workloads import AccessPattern
 
 __all__ = [
     "FigurePoint",
     "FigureSeries",
+    "FigureSweep",
     "paper_testbed",
     "figure_series",
+    "run_figures",
     "elapsed_overhead_range",
     "PAPER_BLOCK_SIZES",
     "FIGURE_PATTERNS",
@@ -102,37 +109,10 @@ class FigureSeries:
         return [p.elapsed_overhead for p in self.points]
 
 
-def figure_series(
-    figure_number: int,
-    block_sizes: Optional[Iterable[int]] = None,
-    total_bytes_per_rank: int = 32 * MiB,
-    nprocs: int = 32,
-    seed: int = 0,
-    framework_factory: Optional[Callable] = None,
-) -> FigureSeries:
-    """Regenerate Figure 2, 3 or 4.
-
-    ``total_bytes_per_rank`` is the scaled-down stand-in for the paper's
-    100 GB (N-1) / 10 GB-per-rank (N-N) files: constant per block size, so
-    large blocks still amortize per-run costs as in the paper.
-    """
-    try:
-        pattern = FIGURE_PATTERNS[figure_number]
-    except KeyError:
-        raise ValueError("paper figures with overhead sweeps are 2, 3, 4") from None
-    sizes = sorted(block_sizes if block_sizes is not None else PAPER_BLOCK_SIZES)
-    factory = framework_factory or (lambda: LANLTrace(LANLTraceConfig()))
-    measurements = sweep_block_sizes(
-        factory,
-        mpi_io_test,
-        {"pattern": pattern, "path": "/pfs/mpi_io_test.out"},
-        sizes,
-        total_bytes_per_rank,
-        config=paper_testbed(seed=seed, nprocs=nprocs),
-        nprocs=nprocs,
-        seed=seed,
-    )
-    points = [
+def _figure_points(sizes: Sequence[int], measurements: Sequence[Any]) -> List[FigurePoint]:
+    # Works for both OverheadMeasurement and parallel.PointResult — the two
+    # expose identical overhead/bandwidth accessors by design.
+    return [
         FigurePoint(
             block_size=bs,
             untraced_bandwidth=m.untraced.aggregate_bandwidth,
@@ -142,8 +122,143 @@ def figure_series(
         )
         for bs, m in zip(sizes, measurements)
     ]
+
+
+def figure_series(
+    figure_number: int,
+    block_sizes: Optional[Iterable[int]] = None,
+    total_bytes_per_rank: int = 32 * MiB,
+    nprocs: int = 32,
+    seed: int = 0,
+    framework_factory: Optional[Callable] = None,
+    framework: Union[FrameworkSpec, str] = "lanl-trace",
+    jobs: int = 1,
+    cache: Optional[Any] = None,
+) -> FigureSeries:
+    """Regenerate Figure 2, 3 or 4.
+
+    ``total_bytes_per_rank`` is the scaled-down stand-in for the paper's
+    100 GB (N-1) / 10 GB-per-rank (N-N) files: constant per block size, so
+    large blocks still amortize per-run costs as in the paper.
+
+    ``framework`` is a pickle-safe spec (or registered factory name); with
+    ``jobs > 1`` the sweep points fan out over worker processes, and with a
+    ``cache`` (:class:`~repro.harness.runcache.RunCache`) previously
+    measured points are served from disk.  The legacy ``framework_factory``
+    closure argument forces the serial in-process path.  All paths produce
+    byte-identical series — the simulator is deterministic.
+    """
+    try:
+        pattern = FIGURE_PATTERNS[figure_number]
+    except KeyError:
+        raise ValueError("paper figures with overhead sweeps are 2, 3, 4") from None
+    sizes = sorted(block_sizes if block_sizes is not None else PAPER_BLOCK_SIZES)
+    measurements = sweep_block_sizes(
+        framework_factory if framework_factory is not None else framework,
+        "mpi_io_test",
+        {"pattern": pattern, "path": "/pfs/mpi_io_test.out"},
+        sizes,
+        total_bytes_per_rank,
+        config=paper_testbed(seed=seed, nprocs=nprocs),
+        nprocs=nprocs,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+    )
     return FigureSeries(
-        figure_number=figure_number, pattern=pattern, nprocs=nprocs, points=points
+        figure_number=figure_number,
+        pattern=pattern,
+        nprocs=nprocs,
+        points=_figure_points(sizes, measurements),
+    )
+
+
+@dataclass
+class FigureSweep:
+    """All figure series from one combined sweep, plus execution stats.
+
+    ``bench_points`` is one record per sweep point with the wall-clock,
+    kernel-event, and cache data the ``BENCH_sweep.json`` artifact reports.
+    """
+
+    series: Dict[int, FigureSeries]
+    overhead_range: Dict[str, float]
+    report: SweepReport
+    bench_points: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def run_figures(
+    figures: Sequence[int] = (2, 3, 4),
+    block_sizes: Optional[Iterable[int]] = None,
+    total_bytes_per_rank: int = 32 * MiB,
+    nprocs: int = 32,
+    seed: int = 0,
+    framework: Union[FrameworkSpec, str] = "lanl-trace",
+    jobs: int = 1,
+    cache: Optional[Any] = None,
+) -> FigureSweep:
+    """Regenerate several figures as one flat sweep (maximum parallelism).
+
+    All points of all requested figures go into a single
+    :func:`~repro.harness.parallel.run_sweep` call, so with ``jobs > 1``
+    the pool stays saturated across figure boundaries instead of draining
+    between them.
+    """
+    sizes = sorted(block_sizes if block_sizes is not None else PAPER_BLOCK_SIZES)
+    config = paper_testbed(seed=seed, nprocs=nprocs)
+    specs = []
+    owners: List[int] = []
+    for figno in figures:
+        try:
+            pattern = FIGURE_PATTERNS[figno]
+        except KeyError:
+            raise ValueError("paper figures with overhead sweeps are 2, 3, 4") from None
+        specs.extend(
+            build_sweep_specs(
+                framework,
+                "mpi_io_test",
+                {"pattern": pattern, "path": "/pfs/mpi_io_test.out"},
+                sizes,
+                total_bytes_per_rank,
+                config=config,
+                nprocs=nprocs,
+                seed=seed,
+            )
+        )
+        owners.extend([figno] * len(sizes))
+    result = run_sweep(specs, jobs=jobs, cache=cache)
+
+    series: Dict[int, FigureSeries] = {}
+    bench_points: List[Dict[str, Any]] = []
+    for idx, figno in enumerate(figures):
+        chunk = result.points[idx * len(sizes) : (idx + 1) * len(sizes)]
+        series[figno] = FigureSeries(
+            figure_number=figno,
+            pattern=FIGURE_PATTERNS[figno],
+            nprocs=nprocs,
+            points=_figure_points(sizes, chunk),
+        )
+        for bs, point in zip(sizes, chunk):
+            bench_points.append(
+                {
+                    "figure": figno,
+                    "block_size": bs,
+                    "wall_seconds": point.wall_seconds,
+                    "events_executed": point.events_executed,
+                    "events_per_sec": (
+                        point.events_executed / point.wall_seconds
+                        if point.wall_seconds > 0
+                        else 0.0
+                    ),
+                    "cached": point.cached,
+                }
+            )
+    overheads = [p.elapsed_overhead for s in series.values() for p in s.points]
+    return FigureSweep(
+        series=series,
+        overhead_range={"min": min(overheads), "max": max(overheads)},
+        report=result.report,
+        bench_points=bench_points,
     )
 
 
@@ -152,19 +267,23 @@ def elapsed_overhead_range(
     total_bytes_per_rank: int = 32 * MiB,
     nprocs: int = 32,
     seed: int = 0,
+    jobs: int = 1,
+    cache: Optional[Any] = None,
 ) -> Dict[str, float]:
     """The §4.1.1 headline: min/max elapsed-time overhead across patterns
     and block sizes ("observed to be highly variable ranging from 24% to
-    222% ... related directly to the block size")."""
-    sizes = list(block_sizes if block_sizes is not None else PAPER_BLOCK_SIZES)
-    overheads: List[float] = []
-    for figno in FIGURE_PATTERNS:
-        series = figure_series(
-            figno,
-            block_sizes=sizes,
-            total_bytes_per_rank=total_bytes_per_rank,
-            nprocs=nprocs,
-            seed=seed,
-        )
-        overheads.extend(series.elapsed_overheads())
-    return {"min": min(overheads), "max": max(overheads)}
+    222% ... related directly to the block size").
+
+    ``jobs``/``cache`` parallelize and memoize the 24-simulation sweep
+    exactly as in :func:`run_figures`, with identical results.
+    """
+    sweep = run_figures(
+        figures=tuple(FIGURE_PATTERNS),
+        block_sizes=block_sizes,
+        total_bytes_per_rank=total_bytes_per_rank,
+        nprocs=nprocs,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+    )
+    return sweep.overhead_range

@@ -1,0 +1,413 @@
+"""Parallel sweep executor: fan independent overhead points over processes.
+
+Every point of a figure sweep — one (framework, workload args, testbed,
+seed) tuple measured traced and untraced — is an independent, perfectly
+deterministic unit of work.  This module makes such points schedulable:
+
+* :class:`FrameworkSpec` / :class:`RunSpec` are pickle-safe descriptions
+  of a point.  The old harness passed ``lambda: LANLTrace(...)`` closures,
+  which cannot cross a process boundary; specs name a factory in
+  :data:`FRAMEWORK_FACTORIES` and a workload in :data:`WORKLOADS` instead.
+* :func:`execute_spec` runs one point in the current process and returns a
+  :class:`PointResult` — plain numbers (elapsed, payload bytes, kernel
+  event fingerprints), no live simulator state, so it pickles and caches.
+* :func:`run_sweep` executes a list of specs, serially or over a
+  ``ProcessPoolExecutor`` (``jobs > 1``), consulting an optional
+  :class:`~repro.harness.runcache.RunCache` first.  Results come back in
+  spec order regardless of completion order, so a sweep's output is
+  byte-identical whether it ran with ``jobs=1``, ``jobs=N``, or entirely
+  from a warm cache — the determinism contract the tests pin down.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.frameworks.base import TracingFramework
+from repro.harness.experiment import (
+    RunOutcome,
+    measure_overhead,
+    sweep_args_for_block_size,
+)
+from repro.harness.testbed import TestbedConfig
+
+__all__ = [
+    "FRAMEWORK_FACTORIES",
+    "WORKLOADS",
+    "register_framework_factory",
+    "register_workload",
+    "as_framework_spec",
+    "FrameworkSpec",
+    "RunSpec",
+    "RunStats",
+    "PointResult",
+    "SweepReport",
+    "SweepResult",
+    "build_sweep_specs",
+    "execute_spec",
+    "run_sweep",
+]
+
+#: Named framework factories: name -> callable(params dict) -> TracingFramework.
+FRAMEWORK_FACTORIES: Dict[str, Callable[[Mapping[str, Any]], TracingFramework]] = {}
+
+#: Named workload generator functions: name -> app(mpi, args) generator fn.
+WORKLOADS: Dict[str, Callable] = {}
+
+
+def register_framework_factory(
+    name: str,
+) -> Callable[[Callable[[Mapping[str, Any]], TracingFramework]], Callable]:
+    """Decorator: register ``fn(params) -> TracingFramework`` under ``name``."""
+
+    def deco(fn: Callable[[Mapping[str, Any]], TracingFramework]) -> Callable:
+        FRAMEWORK_FACTORIES[name] = fn
+        return fn
+
+    return deco
+
+
+def register_workload(name: str, fn: Callable) -> Callable:
+    """Register a workload generator function under ``name``; returns ``fn``."""
+    WORKLOADS[name] = fn
+    return fn
+
+
+def _kv(mapping: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Canonical hashable form of a kwargs mapping: sorted (key, value) pairs."""
+    return tuple(sorted(mapping.items()))
+
+
+@dataclass(frozen=True)
+class FrameworkSpec:
+    """Pickle-safe recipe for a tracing framework instance.
+
+    ``name`` selects a factory in :data:`FRAMEWORK_FACTORIES`; ``params``
+    (sorted key/value pairs) are its construction kwargs.  ``build()`` in a
+    worker process recreates exactly the framework a closure would have.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def create(name: str, **params: Any) -> "FrameworkSpec":
+        """Construct a spec from keyword parameters."""
+        return FrameworkSpec(name=name, params=_kv(params))
+
+    def build(self) -> TracingFramework:
+        """Instantiate the framework via its registered factory."""
+        try:
+            factory = FRAMEWORK_FACTORIES[self.name]
+        except KeyError:
+            raise ReproError(
+                "no framework factory registered as %r (known: %s)"
+                % (self.name, ", ".join(sorted(FRAMEWORK_FACTORIES)) or "none")
+            ) from None
+        return factory(dict(self.params))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Pickle-safe description of one overhead measurement point."""
+
+    framework: FrameworkSpec
+    workload: str
+    workload_args: Tuple[Tuple[str, Any], ...]
+    config: Optional[TestbedConfig] = None
+    nprocs: Optional[int] = None
+    seed: Optional[int] = None
+
+    @staticmethod
+    def create(
+        framework: Union["FrameworkSpec", str],
+        workload: str,
+        workload_args: Mapping[str, Any],
+        config: Optional[TestbedConfig] = None,
+        nprocs: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> "RunSpec":
+        """Construct a spec from plain arguments (dict args, name or spec)."""
+        return RunSpec(
+            framework=as_framework_spec(framework),
+            workload=workload,
+            workload_args=_kv(workload_args),
+            config=config,
+            nprocs=nprocs,
+            seed=seed,
+        )
+
+    def args_dict(self) -> Dict[str, Any]:
+        """The workload arguments as a plain dict."""
+        return dict(self.workload_args)
+
+    def workload_fn(self) -> Callable:
+        """Resolve the registered workload generator function."""
+        try:
+            return WORKLOADS[self.workload]
+        except KeyError:
+            raise ReproError(
+                "no workload registered as %r (known: %s)"
+                % (self.workload, ", ".join(sorted(WORKLOADS)) or "none")
+            ) from None
+
+
+def as_framework_spec(framework: Any) -> FrameworkSpec:
+    """Coerce a spec, registered factory name, or framework class to a spec.
+
+    Closures (the old ``lambda: LANLTrace(...)`` idiom) are rejected with a
+    pointed error: they cannot cross a process boundary, which is the whole
+    reason specs exist.
+    """
+    if isinstance(framework, FrameworkSpec):
+        return framework
+    if isinstance(framework, str):
+        if framework not in FRAMEWORK_FACTORIES:
+            raise ReproError(
+                "no framework factory registered as %r (known: %s)"
+                % (framework, ", ".join(sorted(FRAMEWORK_FACTORIES)) or "none")
+            )
+        return FrameworkSpec(name=framework)
+    if isinstance(framework, type) and issubclass(framework, TracingFramework):
+        name = framework.name
+        if name in FRAMEWORK_FACTORIES:
+            return FrameworkSpec(name=name)
+    raise ReproError(
+        "parallel/cached sweeps need a pickle-safe framework spec "
+        "(FrameworkSpec or a registered factory name), not %r — closures "
+        "cannot cross a process boundary" % (framework,)
+    )
+
+
+# -- results ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Pickle-safe summary of one run: the numbers the figures need."""
+
+    elapsed: float
+    bytes_moved: int
+    events_executed: int
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Total payload bytes over true elapsed seconds."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.bytes_moved / self.elapsed
+
+    @staticmethod
+    def from_outcome(outcome: RunOutcome) -> "RunStats":
+        """Strip a live :class:`RunOutcome` down to its cacheable numbers."""
+        return RunStats(
+            elapsed=outcome.elapsed,
+            bytes_moved=outcome.bytes_moved,
+            events_executed=outcome.events_executed,
+        )
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One measured sweep point, reduced to pickle-safe numbers.
+
+    Mirrors :class:`~repro.harness.experiment.OverheadMeasurement`'s
+    overhead properties so figure assembly treats them interchangeably.
+    ``wall_seconds`` is the real (host) time the measurement took;
+    ``cached`` marks results served from a :class:`RunCache`.
+    """
+
+    params: Tuple[Tuple[str, Any], ...]
+    untraced: RunStats
+    traced: RunStats
+    wall_seconds: float = 0.0
+    cached: bool = False
+
+    @property
+    def elapsed_overhead(self) -> float:
+        """The paper's §3.1 formula: (T_traced - T_untraced) / T_untraced."""
+        if self.untraced.elapsed <= 0:
+            return 0.0
+        return (self.traced.elapsed - self.untraced.elapsed) / self.untraced.elapsed
+
+    @property
+    def bandwidth_overhead(self) -> float:
+        """Fractional bandwidth loss: (BW_u - BW_t) / BW_u, in [0, 1)."""
+        bw_u = self.untraced.aggregate_bandwidth
+        if bw_u <= 0:
+            return 0.0
+        return (bw_u - self.traced.aggregate_bandwidth) / bw_u
+
+    @property
+    def events_executed(self) -> int:
+        """Combined kernel-event fingerprint of both runs."""
+        return self.untraced.events_executed + self.traced.events_executed
+
+    def params_dict(self) -> Dict[str, Any]:
+        """The point's workload arguments as a plain dict."""
+        return dict(self.params)
+
+
+@dataclass
+class SweepReport:
+    """Execution statistics for one :func:`run_sweep` call."""
+
+    jobs: int
+    n_points: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of points served from the cache (0 when empty sweep)."""
+        if self.n_points <= 0:
+            return 0.0
+        return self.cache_hits / self.n_points
+
+
+@dataclass
+class SweepResult:
+    """Points (in spec order) plus the sweep's execution report."""
+
+    points: List[PointResult]
+    report: SweepReport = field(default_factory=lambda: SweepReport(jobs=1, n_points=0))
+
+
+# -- execution --------------------------------------------------------------
+
+
+def build_sweep_specs(
+    framework: Union[FrameworkSpec, str],
+    workload: Union[str, Callable],
+    base_args: Mapping[str, Any],
+    block_sizes: Iterable[int],
+    total_bytes_per_rank: int,
+    config: Optional[TestbedConfig] = None,
+    nprocs: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> List[RunSpec]:
+    """Specs for a constant-bytes-per-rank block-size sweep (one per size)."""
+    fw = as_framework_spec(framework)
+    wl = workload if isinstance(workload, str) else _workload_name(workload)
+    return [
+        RunSpec.create(
+            fw,
+            wl,
+            sweep_args_for_block_size(dict(base_args), bs, total_bytes_per_rank),
+            config=config,
+            nprocs=nprocs,
+            seed=seed,
+        )
+        for bs in block_sizes
+    ]
+
+
+def _workload_name(fn: Callable) -> str:
+    for name, registered in WORKLOADS.items():
+        if registered is fn:
+            return name
+    raise ReproError(
+        "workload %r is not registered; register_workload() it so worker "
+        "processes can resolve it by name" % (fn,)
+    )
+
+
+def execute_spec(spec: RunSpec) -> PointResult:
+    """Measure one point in this process (the process-pool worker entry).
+
+    Runs the full §3.1 protocol (fresh testbed untraced, identical fresh
+    testbed traced) and reduces the outcome to a :class:`PointResult`.
+    """
+    t0 = time.perf_counter()
+    m = measure_overhead(
+        spec.framework.build,
+        spec.workload_fn(),
+        spec.args_dict(),
+        config=spec.config,
+        nprocs=spec.nprocs,
+        seed=spec.seed,
+    )
+    wall = time.perf_counter() - t0
+    return PointResult(
+        params=_kv(m.params),
+        untraced=RunStats.from_outcome(m.untraced),
+        traced=RunStats.from_outcome(m.traced),
+        wall_seconds=wall,
+    )
+
+
+def run_sweep(
+    specs: List[RunSpec],
+    jobs: int = 1,
+    cache: Optional[Any] = None,
+) -> SweepResult:
+    """Execute every spec, in parallel when ``jobs > 1``, cache-first.
+
+    Points already in ``cache`` (a :class:`~repro.harness.runcache.RunCache`)
+    are served from disk; misses are executed — fanned out over a
+    ``ProcessPoolExecutor`` when ``jobs > 1`` — and written back.  The
+    returned points are in spec order, so output ordering never depends on
+    worker completion order.
+    """
+    if jobs < 1:
+        raise ReproError("jobs must be >= 1, got %r" % (jobs,))
+    t0 = time.perf_counter()
+    results: List[Optional[PointResult]] = [None] * len(specs)
+    pending: List[Tuple[int, RunSpec]] = []
+    hits = 0
+    for i, spec in enumerate(specs):
+        got = cache.get(spec) if cache is not None else None
+        if got is not None:
+            results[i] = replace(got, cached=True)
+            hits += 1
+        else:
+            pending.append((i, spec))
+    if pending:
+        todo = [spec for _i, spec in pending]
+        if jobs > 1 and len(todo) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+                fresh = list(pool.map(execute_spec, todo))
+        else:
+            fresh = [execute_spec(spec) for spec in todo]
+        for (i, spec), point in zip(pending, fresh):
+            results[i] = point
+            if cache is not None:
+                cache.put(spec, point)
+    report = SweepReport(
+        jobs=jobs,
+        n_points=len(specs),
+        cache_hits=hits,
+        cache_misses=len(pending),
+        wall_seconds=time.perf_counter() - t0,
+    )
+    return SweepResult(points=[p for p in results if p is not None], report=report)
+
+
+# -- built-in registrations --------------------------------------------------
+
+
+def _register_builtins() -> None:
+    """Register the paper's frameworks and workload under their names."""
+    from repro.frameworks.lanltrace import LANLTrace, LANLTraceConfig
+    from repro.frameworks.ptrace import PTrace, PTraceConfig
+    from repro.frameworks.tracefs import Tracefs, TracefsConfig
+    from repro.workloads import mpi_io_test
+
+    FRAMEWORK_FACTORIES.setdefault(
+        "lanl-trace", lambda params: LANLTrace(LANLTraceConfig(**params))
+    )
+    FRAMEWORK_FACTORIES.setdefault(
+        "tracefs", lambda params: Tracefs(TracefsConfig(**params))
+    )
+    FRAMEWORK_FACTORIES.setdefault(
+        "ptrace", lambda params: PTrace(PTraceConfig(**params))
+    )
+    WORKLOADS.setdefault("mpi_io_test", mpi_io_test)
+
+
+_register_builtins()

@@ -119,7 +119,10 @@ def mpirun(
         return result
 
     try:
-        sim.run()
+        # Whole-job drains are the simulator's hot loop; run_fast dispatches
+        # the identical event history with the per-event backwards-time
+        # check dropped after its warm-up window.
+        sim.run_fast()
     except DeadlockError:
         # A dead rank leaves peers blocked in collectives/recvs; the root
         # cause is the rank's own exception — surface that, not the

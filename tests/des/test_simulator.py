@@ -358,3 +358,111 @@ def test_events_executed_is_deterministic():
         return sim.events_executed, sim.now
 
     assert build_and_run() == build_and_run()
+
+
+def test_pending_events_and_is_idle():
+    sim = Simulator()
+    assert sim.is_idle
+    assert sim.pending_events == 0
+
+    def body():
+        yield Timeout(1.0)
+        yield Timeout(1.0)
+
+    sim.spawn(body())
+    assert sim.pending_events == 1  # the spawn's first step
+    assert not sim.is_idle
+    sim.run()
+    assert sim.is_idle
+    assert sim.pending_events == 0
+
+
+def test_run_until_leaves_pending_events_queryable():
+    sim = Simulator()
+    log = []
+
+    def body():
+        yield Timeout(1.0)
+        log.append("early")
+        yield Timeout(9.0)
+        log.append("late")
+        return sim.now
+
+    proc = sim.spawn(body(), name="two-phase")
+    assert sim.run(until=5.0) == 5.0
+    assert sim.now == 5.0
+    assert log == ["early"]
+    assert sim.pending_events == 1  # the 10.0s resume is still queued
+    assert not sim.is_idle
+    assert proc.alive
+
+
+def test_run_resumes_after_until_stop():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(1.0)
+        yield Timeout(9.0)
+        return sim.now
+
+    proc = sim.spawn(body(), name="two-phase")
+    sim.run(until=5.0)
+    # A second run() picks the queued event back up and drains to the end.
+    assert sim.run() == pytest.approx(10.0)
+    assert sim.is_idle
+    assert proc.completion.value == pytest.approx(10.0)
+
+
+def test_run_fast_matches_run_exactly():
+    def history(fast):
+        sim = Simulator(seed=3)
+        log = []
+
+        def worker(n, dt):
+            for i in range(n):
+                yield Timeout(dt)
+                log.append((sim.now, n, i))
+
+        for i in range(4):
+            sim.spawn(worker(i + 1, 0.5 + 0.25 * i), name="w%d" % i)
+        end = sim.run_fast() if fast else sim.run()
+        return log, end, sim.events_executed
+
+    assert history(fast=True) == history(fast=False)
+
+
+def test_run_fast_honors_until_and_resumes():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(1.0)
+        yield Timeout(9.0)
+        return sim.now
+
+    proc = sim.spawn(body())
+    assert sim.run_fast(until=5.0) == 5.0
+    assert sim.pending_events == 1
+    assert sim.run_fast() == pytest.approx(10.0)
+    assert proc.completion.value == pytest.approx(10.0)
+
+
+def test_run_fast_still_checks_warmup_window():
+    sim = Simulator()
+    # Schedule an event, advance time past it manually, then corrupt the
+    # clock: the warm-up window must still catch backwards time.
+    sim._queue.push(1.0, lambda: None, ())
+    sim._now = 2.0
+    with pytest.raises(SimTimeError):
+        sim.run_fast(check_first=10)
+
+
+def test_run_fast_skips_check_after_window():
+    sim = Simulator()
+    for i in range(5):
+        sim._queue.push(float(i), lambda: None, ())
+    sim._now = 100.0  # all events are "in the past"
+    # check_first=0 disables the backwards-time check entirely: the loop
+    # must dispatch anyway (and rewind now), demonstrating the check is
+    # really gone from the hot path.
+    assert sim.run_fast(check_first=0) == 4.0
+    assert sim.events_executed == 5

@@ -92,6 +92,42 @@ class TestOverheadProtocol:
         for m in ms:
             assert m.untraced.bytes_moved == 2 * 1 * MiB
 
+    def test_payload_counts_reads_and_writes_independently(self):
+        from dataclasses import dataclass
+
+        from repro.harness.experiment import _total_payload
+
+        @dataclass
+        class ReadOnly:
+            bytes_read: int
+
+        @dataclass
+        class WriteOnly:
+            bytes_written: int
+
+        @dataclass
+        class Both:
+            bytes_written: int
+            bytes_read: int
+
+        job = run_untraced(mpi_io_test, SMALL_ARGS, nprocs=2).job
+        job.results[:] = [ReadOnly(100), WriteOnly(10), Both(1, 2), None]
+        # A read-only rank contributes its bytes_read even without any
+        # bytes_written attribute (regression: it used to count as 0).
+        assert _total_payload(job) == 100 + 10 + 3
+
+    def test_read_back_run_moves_payload_both_ways(self):
+        args = dict(SMALL_ARGS, read_back=True)
+        out = run_untraced(mpi_io_test, args, nprocs=2)
+        # 2 ranks x 4 objects x 64KiB, written then read back
+        assert out.bytes_moved == 2 * 2 * 4 * 64 * KiB
+
+    def test_run_outcome_records_events_fingerprint(self):
+        a = run_untraced(mpi_io_test, SMALL_ARGS, nprocs=2, seed=3)
+        b = run_untraced(mpi_io_test, SMALL_ARGS, nprocs=2, seed=3)
+        assert a.events_executed > 0
+        assert a.events_executed == b.events_executed
+
     def test_measured_overhead_report_cell(self):
         report = measure_overhead_report(
             lambda: LANLTrace(LANLTraceConfig()),

@@ -1,11 +1,48 @@
-"""CLI figure command (slow path, kept out of the main CLI test module)."""
+"""CLI figure commands (slow path, kept out of the main CLI test module)."""
+
+import json
 
 from repro.cli import main
 
 
-def test_figure_quick(capsys):
+def test_figure_quick(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)  # the default run cache lands in cwd
     assert main(["figure", "4", "--quick"]) == 0
     out = capsys.readouterr().out
     assert "Figure 4" in out
     assert "64KiB" in out and "1MiB" in out
     assert "BW ovh" in out
+    assert (tmp_path / ".repro-cache").is_dir()
+
+
+def test_figure_quick_no_cache(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["figure", "4", "--quick", "--no-cache", "--jobs", "2"]) == 0
+    assert "Figure 4" in capsys.readouterr().out
+    assert not (tmp_path / ".repro-cache").exists()
+
+
+def test_figures_sweep_writes_bench_artifact(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["figures", "--quick", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out and "Figure 3" in out and "Figure 4" in out
+    assert "elapsed time overhead" in out
+    bench = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+    assert bench["schema"] == "repro/bench_sweep/v1"
+    assert bench["jobs"] == 2
+    assert len(bench["points"]) == 6  # 3 figures x 2 quick block sizes
+    for point in bench["points"]:
+        assert point["events_executed"] > 0
+        assert not point["cached"]  # cold run
+    assert bench["cache"]["enabled"] and bench["cache"]["hits"] == 0
+    assert bench["elapsed_overhead_range"]["min"] > 0
+
+    # Warm rerun: every point served from the cache, and byte-identical.
+    cold_range = bench["elapsed_overhead_range"]
+    assert main(["figures", "--quick", "--jobs", "2"]) == 0
+    capsys.readouterr()
+    warm = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+    assert warm["cache"]["hit_rate"] == 1.0
+    assert all(p["cached"] for p in warm["points"])
+    assert warm["elapsed_overhead_range"] == cold_range
