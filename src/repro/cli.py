@@ -9,14 +9,23 @@ Commands:
     One framework's classification as a Table-1-style reference card.
 ``recommend [constraint flags]``
     Formalize tracing requirements and rank the frameworks (§5).
-``figure N [--quick] [--jobs N] [--no-cache]``
-    Regenerate Figure 2, 3 or 4 on the simulated testbed.
-``figures [--quick] [--jobs N] [--no-cache] [--bench-out PATH]``
+``figure N [--quick] [--jobs N] [--no-cache] [--telemetry]``
+    Regenerate Figure 2, 3 or 4 on the simulated testbed.  With
+    ``--telemetry`` every point also exports a metrics snapshot and a
+    Perfetto-loadable Chrome trace into ``--telemetry-out`` (default
+    ``telemetry/``).
+``figures [--quick] [--jobs N] [--no-cache] [--bench-out PATH] [--telemetry]``
     Regenerate Figures 2-4 and the §4.1.1 overhead range as one sweep —
     points fan out over ``--jobs`` worker processes, results are memoized
     in ``.repro-cache/`` (disable with ``--no-cache``), and a
     ``BENCH_sweep.json`` artifact records wall-clock per point, events/sec,
-    and the cache hit rate.
+    and the cache hit rate.  ``--progress`` (or a tty stderr) shows live
+    ``N/M points, ETA`` lines while the sweep runs.
+``observe PATH [--validate]``
+    Summary report of a telemetry artifact written by ``--telemetry``
+    (per-layer call mix, bytes moved, utilizations, span counts);
+    ``--validate`` additionally checks the embedded Chrome trace against
+    the trace-event schema.
 ``summarize TRACE``
     Call summary of a trace file (text ``.trace`` or binary ``.bin``).
 ``convert IN OUT``
@@ -141,6 +150,64 @@ def _make_cache(args: argparse.Namespace):
     return RunCache(args.cache_dir)
 
 
+def _make_progress(args: argparse.Namespace):
+    """A live ``N/M points, ETA`` stderr reporter, or None when unwanted.
+
+    Enabled by ``--progress`` or automatically when stderr is a tty.  The
+    callback runs in the parent process only (workers never print), and
+    only observes the sweep — results are byte-identical without it.
+    """
+    import time as _time
+
+    if not (getattr(args, "progress", False) or sys.stderr.isatty()):
+        return None
+    t0 = _time.perf_counter()
+
+    def progress(done: int, total: int, _point) -> None:
+        elapsed = _time.perf_counter() - t0
+        if done < total:
+            eta = elapsed / done * (total - done) if done else 0.0
+            sys.stderr.write(
+                "\rsweep: %d/%d points, ETA %.1fs " % (done, total, eta)
+            )
+        else:
+            sys.stderr.write(
+                "\rsweep: %d/%d points, %.1fs      \n" % (done, total, elapsed)
+            )
+        sys.stderr.flush()
+
+    return progress
+
+
+def _write_telemetry_artifacts(outdir: str, entries) -> List[Path]:
+    """Write per-point telemetry artifacts; returns the file paths.
+
+    ``entries`` yields ``(figure_number, block_size, point)`` where the
+    point carries a telemetry payload dict.  Each point produces the full
+    combined payload (``*.telemetry.json``) plus one directly
+    Perfetto-loadable Chrome trace per run (``*.{untraced,traced}.trace.json``).
+    All files are canonical JSON, so same-seed re-runs rewrite identical bytes.
+    """
+    from repro.obs.metrics import canonical_json
+
+    root = Path(outdir)
+    root.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for figno, block_size, point in entries:
+        payloads = getattr(point, "telemetry", None)
+        if not payloads:
+            continue
+        stem = "fig%d_bs%d" % (figno, block_size)
+        combined = root / (stem + ".telemetry.json")
+        combined.write_text(canonical_json(payloads) + "\n")
+        written.append(combined)
+        for run_name, payload in sorted(payloads.items()):
+            trace_path = root / ("%s.%s.trace.json" % (stem, run_name))
+            trace_path.write_text(canonical_json(payload["trace"]) + "\n")
+            written.append(trace_path)
+    return written
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.harness.figures import figure_series
     from repro.harness.report import render_figure
@@ -153,8 +220,19 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         nprocs=nprocs,
         jobs=args.jobs,
         cache=_make_cache(args),
+        telemetry=args.telemetry,
+        progress=_make_progress(args),
     )
     print(render_figure(series), end="")
+    if args.telemetry:
+        written = _write_telemetry_artifacts(
+            args.telemetry_out,
+            (
+                (args.number, p.block_size, m)
+                for p, m in zip(series.points, series.measurements)
+            ),
+        )
+        print("wrote %d telemetry artifact(s) to %s" % (len(written), args.telemetry_out))
     return 0
 
 
@@ -173,6 +251,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         nprocs=nprocs,
         jobs=args.jobs,
         cache=cache,
+        telemetry=args.telemetry,
+        progress=_make_progress(args),
     )
     for figno in sorted(sweep.series):
         print(render_figure(sweep.series[figno]), end="")
@@ -209,6 +289,54 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     if args.bench_out:
         Path(args.bench_out).write_text(json.dumps(bench, indent=2) + "\n")
         print("wrote %s" % args.bench_out)
+    if args.telemetry:
+        written = _write_telemetry_artifacts(
+            args.telemetry_out,
+            (
+                (figno, p.block_size, m)
+                for figno in sorted(sweep.series)
+                for p, m in zip(
+                    sweep.series[figno].points, sweep.series[figno].measurements
+                )
+            ),
+        )
+        print("wrote %d telemetry artifact(s) to %s" % (len(written), args.telemetry_out))
+    return 0
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import TelemetryError
+    from repro.obs.perfetto import validate_chrome_trace
+    from repro.obs.report import render_payload_summary
+
+    obj = json.loads(Path(args.path).read_text("utf-8"))
+    # Accept all three artifact shapes: a combined {untraced, traced} file,
+    # a single payload, or a bare Chrome trace (validate-only).
+    if isinstance(obj, dict) and obj.get("schema") == "repro/telemetry/v1":
+        payloads = {"": obj}
+    elif isinstance(obj, dict) and {"untraced", "traced"} <= set(obj):
+        payloads = {name: obj[name] for name in ("untraced", "traced")}
+    elif isinstance(obj, (list, dict)) and (
+        isinstance(obj, list) or "traceEvents" in obj
+    ):
+        validate_chrome_trace(obj)
+        events = obj if isinstance(obj, list) else obj["traceEvents"]
+        print("valid Chrome trace: %d events" % len(events))
+        return 0
+    else:
+        raise TelemetryError(
+            "%s is not a telemetry artifact (expected a repro/telemetry/v1 "
+            "payload, an {untraced, traced} pair, or a Chrome trace)" % args.path
+        )
+    for i, (label, payload) in enumerate(payloads.items()):
+        if i:
+            print()
+        print(render_payload_summary(payload, label=label), end="")
+        if args.validate:
+            validate_chrome_trace(payload["trace"])
+            print("trace: valid (%d events)" % len(payload["trace"]["traceEvents"]))
     return 0
 
 
@@ -303,6 +431,23 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="run cache directory (default .repro-cache)",
         )
+        p.add_argument(
+            "--telemetry",
+            action="store_true",
+            help="record metrics + Perfetto traces for every sweep point",
+        )
+        p.add_argument(
+            "--telemetry-out",
+            default="telemetry",
+            metavar="DIR",
+            help="directory for --telemetry artifacts (default telemetry/)",
+        )
+        p.add_argument(
+            "--progress",
+            action="store_true",
+            help="force live 'N/M points, ETA' progress on stderr "
+            "(automatic when stderr is a tty)",
+        )
 
     p = sub.add_parser("figure", help="regenerate Figure 2, 3 or 4")
     p.add_argument("number", type=int, choices=(2, 3, 4))
@@ -320,6 +465,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sweep benchmark artifact here ('' to skip)",
     )
     p.set_defaults(fn=_cmd_figures)
+
+    p = sub.add_parser("observe", help="summarize a --telemetry artifact")
+    p.add_argument("path", help="*.telemetry.json or *.trace.json file")
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="also validate the Chrome trace against the trace-event schema",
+    )
+    p.set_defaults(fn=_cmd_observe)
 
     p = sub.add_parser("summarize", help="call summary of a trace file")
     p.add_argument("trace")

@@ -23,6 +23,7 @@ from typing import Any, Generator
 
 from repro.des.events import Timeout
 from repro.des.resources import Resource
+from repro.obs.tracepoints import STATE as _TELEMETRY
 from repro.units import MiB
 
 __all__ = ["Network", "NetworkConfig"]
@@ -73,20 +74,32 @@ class Network:
         time, then waits propagation latency.  Use with ``yield from``.
         """
         serialization = self.transfer_time(nbytes)
+        col = _TELEMETRY.collector
+        t0 = self.sim.now if col is not None else 0.0
         yield sender_nic.acquire()
+        if col is not None:
+            col.net_nic(sender_nic.name, self.sim.now, sender_nic.in_use)
         try:
             yield self.fabric.acquire()
+            if col is not None:
+                col.net_fabric(self.sim.now, self.fabric.in_use)
             try:
                 if serialization > 0:
                     yield Timeout(serialization)
             finally:
                 self.fabric.release()
+                if col is not None:
+                    col.net_fabric(self.sim.now, self.fabric.in_use)
         finally:
             sender_nic.release()
+            if col is not None:
+                col.net_nic(sender_nic.name, self.sim.now, sender_nic.in_use)
         if self.config.latency > 0:
             yield Timeout(self.config.latency)
         self._bytes_moved += nbytes
         self._messages += 1
+        if col is not None:
+            col.net_transfer(nbytes, t0, self.sim.now - t0)
 
     # -- accounting -----------------------------------------------------------
 

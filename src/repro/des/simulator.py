@@ -4,9 +4,10 @@ A :class:`Simulator` owns virtual time (seconds, starting at 0.0), the
 event queue, and the set of live processes.  ``run()`` drains the queue;
 if it drains while non-daemon processes are still blocked, that is a
 deadlock in the simulated system and raises
-:class:`~repro.errors.DeadlockError` with the culprits' names — silent
-hangs are the worst failure mode of a simulated cluster, so they are loud
-here.
+:class:`~repro.errors.DeadlockError` with the culprits' names, every
+blocked process's wait reason, and (when telemetry is on) the last
+dispatched events — silent hangs are the worst failure mode of a
+simulated cluster, so they are loud here.
 
 Two run loops are provided.  :meth:`Simulator.run` validates every event
 against backwards time travel; :meth:`Simulator.run_fast` performs that
@@ -14,11 +15,25 @@ check only for the first ``check_first`` events and then drops it from
 the hot loop.  Both dispatch exactly the same events in exactly the same
 order — the fast loop changes per-event overhead, never history — so
 ``events_executed`` fingerprints are identical between them.
+
+When a telemetry session (:mod:`repro.obs.tracepoints`) is active, both
+entry points route to a third loop, :meth:`Simulator._run_observed`,
+which additionally feeds the dispatched-event ring buffer and samples
+queue depth.  The selection happens once per ``run()`` call, so the
+disabled-telemetry hot loops are byte-for-byte the uninstrumented ones —
+telemetry off costs nothing per event.
+
+Every loop also accumulates host wall-clock time, exposed as
+:attr:`Simulator.wall_seconds`, :attr:`Simulator.events_per_sec` and
+:attr:`Simulator.wall_time_per_sim_second` so benchmarks stop re-deriving
+those rates ad hoc.  (Wall time is *host* time: it never feeds telemetry
+snapshots, which must stay deterministic.)
 """
 
 from __future__ import annotations
 
 from heapq import heappop
+from time import perf_counter
 from typing import Any, Callable, Generator, Optional
 
 from repro.des.events import Completion, Timeout
@@ -26,6 +41,7 @@ from repro.des.process import Process
 from repro.des.queue import EventQueue
 from repro.des.rand import RandomStreams
 from repro.errors import DeadlockError, SimTimeError
+from repro.obs.tracepoints import STATE as _TELEMETRY
 
 __all__ = ["Simulator"]
 
@@ -41,7 +57,15 @@ class Simulator:
         identical histories.
     """
 
-    __slots__ = ("_now", "_queue", "_live", "random", "seed", "_events_executed")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_live",
+        "random",
+        "seed",
+        "_events_executed",
+        "_wall_seconds",
+    )
 
     def __init__(self, seed: int = 0):
         self._now = 0.0
@@ -50,6 +74,7 @@ class Simulator:
         self.random = RandomStreams(seed)
         self.seed = seed
         self._events_executed = 0
+        self._wall_seconds = 0.0
 
     # -- time & scheduling --------------------------------------------------
 
@@ -73,6 +98,27 @@ class Simulator:
         """True when no events remain to dispatch (a ``run()`` would return
         immediately, or raise if non-daemon processes are still blocked)."""
         return not self._queue
+
+    # -- host-time rates ------------------------------------------------------
+
+    @property
+    def wall_seconds(self) -> float:
+        """Cumulative host wall-clock spent inside this simulator's run loops."""
+        return self._wall_seconds
+
+    @property
+    def events_per_sec(self) -> float:
+        """Dispatch rate: kernel events per host second (0 before any run)."""
+        if self._wall_seconds <= 0:
+            return 0.0
+        return self._events_executed / self._wall_seconds
+
+    @property
+    def wall_time_per_sim_second(self) -> float:
+        """Host seconds burned per simulated second (0 before time advances)."""
+        if self._now <= 0:
+            return 0.0
+        return self._wall_seconds / self._now
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
@@ -119,12 +165,21 @@ class Simulator:
     def _raise_if_deadlocked(self) -> None:
         """Queue is drained: blocked non-daemon processes mean a deadlock."""
         if any(not p.daemon for p in self._live.values()):
-            details = [
+            culprits = [
                 "%s (waiting on %s)" % (p.name, p.waiting_on or "nothing?")
                 for p in self._live.values()
                 if not p.daemon
             ]
-            raise DeadlockError(details)
+            wait_reasons = [
+                "%s%s (waiting on %s)"
+                % (p.name, " [daemon]" if p.daemon else "", p.waiting_on or "nothing?")
+                for p in self._live.values()
+            ]
+            col = _TELEMETRY.collector
+            recent = col.format_ring() if col is not None else None
+            raise DeadlockError(
+                culprits, wait_reasons=wait_reasons, recent_events=recent
+            )
 
     def run(self, until: Optional[float] = None) -> float:
         """Execute events until the queue drains (or simulated ``until``).
@@ -135,11 +190,15 @@ class Simulator:
         later events queued (see :attr:`pending_events`); a subsequent
         ``run()`` resumes from them.
         """
+        col = _TELEMETRY.collector
+        if col is not None:
+            return self._run_observed(until, col)
         # Hot loop: the queue's raw heap and heappop are hoisted to locals
         # so each event costs two fewer attribute lookups.
         heap = self._queue._heap
         pop = heappop
         executed = 0
+        t0_wall = perf_counter()
         try:
             while heap:
                 if until is not None and heap[0][0] > until:
@@ -155,6 +214,7 @@ class Simulator:
                 callback(*args)
         finally:
             self._events_executed += executed
+            self._wall_seconds += perf_counter() - t0_wall
         self._raise_if_deadlocked()
         return self._now
 
@@ -169,9 +229,13 @@ class Simulator:
         that push events into the past are still caught during the window
         (and by :meth:`run`, which the test suite exercises throughout).
         """
+        col = _TELEMETRY.collector
+        if col is not None:
+            return self._run_observed(until, col)
         heap = self._queue._heap
         pop = heappop
         executed = 0
+        t0_wall = perf_counter()
         try:
             while heap:
                 if until is not None and heap[0][0] > until:
@@ -187,6 +251,45 @@ class Simulator:
                 callback(*args)
         finally:
             self._events_executed += executed
+            self._wall_seconds += perf_counter() - t0_wall
+        self._raise_if_deadlocked()
+        return self._now
+
+    def _run_observed(self, until: Optional[float], col: Any) -> float:
+        """Instrumented drain used while a telemetry session is active.
+
+        Dispatches the identical event history as :meth:`run` (the
+        backwards-time check is kept on every event — observed runs trade
+        speed for visibility), additionally feeding the collector's ring
+        buffer and sampling queue depth.  Telemetry reads only simulated
+        time, so its output is deterministic.
+        """
+        heap = self._queue._heap
+        pop = heappop
+        ring = col.ring
+        every = col.config.queue_sample_every
+        executed = 0
+        t0_wall = perf_counter()
+        try:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self._now = until
+                    return until
+                t, _seq, callback, args = pop(heap)
+                if t < self._now:
+                    raise SimTimeError(
+                        "event queue went backwards: %r < %r" % (t, self._now)
+                    )
+                self._now = t
+                executed += 1
+                ring.append((t, callback, args))
+                if executed % every == 0:
+                    col.des_queue_depth(t, len(heap))
+                callback(*args)
+        finally:
+            self._events_executed += executed
+            self._wall_seconds += perf_counter() - t0_wall
+            col.des_events(executed)
         self._raise_if_deadlocked()
         return self._now
 

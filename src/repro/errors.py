@@ -29,14 +29,44 @@ class DeadlockError(SimulationError):
     Raised by :meth:`repro.des.simulator.Simulator.run` when no events remain
     but at least one process has not terminated — the simulated system can
     make no further progress.
+
+    ``blocked`` names the culprits (blocked non-daemon processes, with
+    their wait reasons).  ``wait_reasons`` covers *every* still-live
+    process including daemons, and ``recent_events`` is the tail of the
+    telemetry ring buffer (the last dispatched kernel events) when a
+    telemetry session was active — together, the post-mortem a silent
+    hang would otherwise require a debugger for.
     """
 
-    def __init__(self, blocked: list[str]):
+    def __init__(
+        self,
+        blocked: list[str],
+        wait_reasons: list[str] | None = None,
+        recent_events: list[str] | None = None,
+    ):
         self.blocked = list(blocked)
-        super().__init__(
+        self.wait_reasons = list(wait_reasons) if wait_reasons is not None else None
+        self.recent_events = (
+            list(recent_events) if recent_events is not None else None
+        )
+        lines = [
             "deadlock: no pending events but %d process(es) still blocked: %s"
             % (len(blocked), ", ".join(blocked))
-        )
+        ]
+        if self.wait_reasons:
+            lines.append("blocked processes:")
+            lines.extend("  - %s" % r for r in self.wait_reasons)
+        if self.recent_events:
+            lines.append(
+                "last %d dispatched events (oldest first):" % len(self.recent_events)
+            )
+            lines.extend("  - %s" % e for e in self.recent_events)
+        elif self.recent_events is None:
+            lines.append(
+                "(enable telemetry — repro.obs.tracepoints.session() or the "
+                "--telemetry flag — to capture the dispatched-event history)"
+            )
+        super().__init__("\n".join(lines))
 
 
 class ProcessError(SimulationError):
@@ -162,6 +192,15 @@ class TraceTruncatedError(TraceFormatError):
 
 class AnonymizationError(TraceError):
     """Anonymization could not be applied (unknown field, bad key...)."""
+
+
+# ---------------------------------------------------------------------------
+# Telemetry / observability
+# ---------------------------------------------------------------------------
+
+
+class TelemetryError(ReproError):
+    """Telemetry export/validation failed (malformed trace, bad payload)."""
 
 
 # ---------------------------------------------------------------------------

@@ -198,21 +198,30 @@ def sweep_block_sizes(
     seed: Optional[int] = None,
     jobs: int = 1,
     cache: Optional[Any] = None,
+    telemetry: bool = False,
+    progress: Optional[Callable] = None,
 ) -> List[Any]:
     """Measure overhead across block sizes at constant bytes per rank.
 
     With the defaults this is the original serial protocol and returns
     :class:`OverheadMeasurement` objects (carrying live trace bundles).
-    Passing ``jobs > 1``, a :class:`~repro.harness.runcache.RunCache`, or a
+    Passing ``jobs > 1``, a :class:`~repro.harness.runcache.RunCache`, a
     pickle-safe framework spec (a :class:`~repro.harness.parallel.FrameworkSpec`
-    or registered factory name instead of a closure) routes the sweep
-    through :func:`repro.harness.parallel.run_sweep` and returns
+    or registered factory name instead of a closure), ``telemetry=True``,
+    or a ``progress`` callback routes the sweep through
+    :func:`repro.harness.parallel.run_sweep` and returns
     :class:`~repro.harness.parallel.PointResult` objects — same overhead
     numbers and fingerprints, no live simulator state.
     """
     from repro.harness.parallel import FrameworkSpec, build_sweep_specs, run_sweep
 
-    if jobs != 1 or cache is not None or isinstance(framework_factory, (FrameworkSpec, str)):
+    if (
+        jobs != 1
+        or cache is not None
+        or telemetry
+        or progress is not None
+        or isinstance(framework_factory, (FrameworkSpec, str))
+    ):
         specs = build_sweep_specs(
             framework_factory,
             workload,
@@ -222,8 +231,9 @@ def sweep_block_sizes(
             config=config,
             nprocs=nprocs,
             seed=seed,
+            telemetry=telemetry,
         )
-        return run_sweep(specs, jobs=jobs, cache=cache).points
+        return run_sweep(specs, jobs=jobs, cache=cache, progress=progress).points
     if isinstance(workload, str):
         from repro.harness.parallel import WORKLOADS
 

@@ -89,12 +89,20 @@ class FigurePoint:
 
 @dataclass(frozen=True)
 class FigureSeries:
-    """A full figure: pattern + points ordered by block size."""
+    """A full figure: pattern + points ordered by block size.
+
+    ``measurements`` keeps the raw per-point result objects (when the
+    generating sweep provided them) so callers can reach data the
+    :class:`FigurePoint` summary drops — notably telemetry payloads.  It
+    is excluded from equality: point results carry host wall-clock times,
+    and two byte-identical series must compare equal across runs.
+    """
 
     figure_number: int
     pattern: AccessPattern
     nprocs: int
     points: List[FigurePoint]
+    measurements: List[Any] = field(default_factory=list, compare=False, repr=False)
 
     def block_sizes(self) -> List[int]:
         """The x axis: block sizes in point order."""
@@ -134,6 +142,8 @@ def figure_series(
     framework: Union[FrameworkSpec, str] = "lanl-trace",
     jobs: int = 1,
     cache: Optional[Any] = None,
+    telemetry: bool = False,
+    progress: Optional[Callable] = None,
 ) -> FigureSeries:
     """Regenerate Figure 2, 3 or 4.
 
@@ -164,12 +174,15 @@ def figure_series(
         seed=seed,
         jobs=jobs,
         cache=cache,
+        telemetry=telemetry,
+        progress=progress,
     )
     return FigureSeries(
         figure_number=figure_number,
         pattern=pattern,
         nprocs=nprocs,
         points=_figure_points(sizes, measurements),
+        measurements=list(measurements),
     )
 
 
@@ -196,6 +209,8 @@ def run_figures(
     framework: Union[FrameworkSpec, str] = "lanl-trace",
     jobs: int = 1,
     cache: Optional[Any] = None,
+    telemetry: bool = False,
+    progress: Optional[Callable] = None,
 ) -> FigureSweep:
     """Regenerate several figures as one flat sweep (maximum parallelism).
 
@@ -223,10 +238,11 @@ def run_figures(
                 config=config,
                 nprocs=nprocs,
                 seed=seed,
+                telemetry=telemetry,
             )
         )
         owners.extend([figno] * len(sizes))
-    result = run_sweep(specs, jobs=jobs, cache=cache)
+    result = run_sweep(specs, jobs=jobs, cache=cache, progress=progress)
 
     series: Dict[int, FigureSeries] = {}
     bench_points: List[Dict[str, Any]] = []
@@ -237,6 +253,7 @@ def run_figures(
             pattern=FIGURE_PATTERNS[figno],
             nprocs=nprocs,
             points=_figure_points(sizes, chunk),
+            measurements=list(chunk),
         )
         for bs, point in zip(sizes, chunk):
             bench_points.append(

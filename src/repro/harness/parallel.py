@@ -113,7 +113,14 @@ class FrameworkSpec:
 
 @dataclass(frozen=True)
 class RunSpec:
-    """Pickle-safe description of one overhead measurement point."""
+    """Pickle-safe description of one overhead measurement point.
+
+    ``telemetry`` asks the worker to run both measurements inside
+    :func:`repro.obs.tracepoints.session` and attach the exported
+    payloads to the result.  It is part of the cache key (telemetric and
+    plain entries never alias) but never changes the simulated history —
+    fingerprints match with it on or off.
+    """
 
     framework: FrameworkSpec
     workload: str
@@ -121,6 +128,7 @@ class RunSpec:
     config: Optional[TestbedConfig] = None
     nprocs: Optional[int] = None
     seed: Optional[int] = None
+    telemetry: bool = False
 
     @staticmethod
     def create(
@@ -130,6 +138,7 @@ class RunSpec:
         config: Optional[TestbedConfig] = None,
         nprocs: Optional[int] = None,
         seed: Optional[int] = None,
+        telemetry: bool = False,
     ) -> "RunSpec":
         """Construct a spec from plain arguments (dict args, name or spec)."""
         return RunSpec(
@@ -139,6 +148,7 @@ class RunSpec:
             config=config,
             nprocs=nprocs,
             seed=seed,
+            telemetry=telemetry,
         )
 
     def args_dict(self) -> Dict[str, Any]:
@@ -219,6 +229,12 @@ class PointResult:
     overhead properties so figure assembly treats them interchangeably.
     ``wall_seconds`` is the real (host) time the measurement took;
     ``cached`` marks results served from a :class:`RunCache`.
+
+    ``telemetry``, present when the spec asked for it, is
+    ``{"untraced": payload, "traced": payload}`` where each payload is a
+    deterministic :meth:`~repro.obs.tracepoints.TelemetryCollector.export`
+    dict (metrics snapshot + Chrome trace).  It is cached alongside the
+    numbers, so warm-cache points return byte-identical payloads.
     """
 
     params: Tuple[Tuple[str, Any], ...]
@@ -226,6 +242,7 @@ class PointResult:
     traced: RunStats
     wall_seconds: float = 0.0
     cached: bool = False
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def elapsed_overhead(self) -> float:
@@ -290,6 +307,7 @@ def build_sweep_specs(
     config: Optional[TestbedConfig] = None,
     nprocs: Optional[int] = None,
     seed: Optional[int] = None,
+    telemetry: bool = False,
 ) -> List[RunSpec]:
     """Specs for a constant-bytes-per-rank block-size sweep (one per size)."""
     fw = as_framework_spec(framework)
@@ -302,6 +320,7 @@ def build_sweep_specs(
             config=config,
             nprocs=nprocs,
             seed=seed,
+            telemetry=telemetry,
         )
         for bs in block_sizes
     ]
@@ -322,8 +341,41 @@ def execute_spec(spec: RunSpec) -> PointResult:
 
     Runs the full §3.1 protocol (fresh testbed untraced, identical fresh
     testbed traced) and reduces the outcome to a :class:`PointResult`.
+    With ``spec.telemetry`` each of the two runs gets its own telemetry
+    session, and the exported payloads ride along on the result.
     """
     t0 = time.perf_counter()
+    if spec.telemetry:
+        from repro.harness.experiment import run_traced, run_untraced
+        from repro.obs.tracepoints import session
+
+        with session() as col_u:
+            untraced = run_untraced(
+                spec.workload_fn(),
+                spec.args_dict(),
+                config=spec.config,
+                nprocs=spec.nprocs,
+                seed=spec.seed,
+            )
+            payload_u = col_u.export(end_time=untraced.elapsed)
+        with session() as col_t:
+            traced, _traced_run = run_traced(
+                spec.framework.build,
+                spec.workload_fn(),
+                spec.args_dict(),
+                config=spec.config,
+                nprocs=spec.nprocs,
+                seed=spec.seed,
+            )
+            payload_t = col_t.export(end_time=traced.elapsed)
+        wall = time.perf_counter() - t0
+        return PointResult(
+            params=spec.workload_args,
+            untraced=RunStats.from_outcome(untraced),
+            traced=RunStats.from_outcome(traced),
+            wall_seconds=wall,
+            telemetry={"untraced": payload_u, "traced": payload_t},
+        )
     m = measure_overhead(
         spec.framework.build,
         spec.workload_fn(),
@@ -345,6 +397,7 @@ def run_sweep(
     specs: List[RunSpec],
     jobs: int = 1,
     cache: Optional[Any] = None,
+    progress: Optional[Callable[[int, int, PointResult], None]] = None,
 ) -> SweepResult:
     """Execute every spec, in parallel when ``jobs > 1``, cache-first.
 
@@ -353,6 +406,11 @@ def run_sweep(
     ``ProcessPoolExecutor`` when ``jobs > 1`` — and written back.  The
     returned points are in spec order, so output ordering never depends on
     worker completion order.
+
+    ``progress``, when given, is called as ``progress(done, total, point)``
+    after each point completes (cache hits first, then fresh points as the
+    pool yields them).  It only observes the sweep — results are identical
+    with or without it.
     """
     if jobs < 1:
         raise ReproError("jobs must be >= 1, got %r" % (jobs,))
@@ -360,20 +418,37 @@ def run_sweep(
     results: List[Optional[PointResult]] = [None] * len(specs)
     pending: List[Tuple[int, RunSpec]] = []
     hits = 0
+    done = 0
+    total = len(specs)
     for i, spec in enumerate(specs):
         got = cache.get(spec) if cache is not None else None
         if got is not None:
             results[i] = replace(got, cached=True)
             hits += 1
+            done += 1
+            if progress is not None:
+                progress(done, total, results[i])
         else:
             pending.append((i, spec))
     if pending:
         todo = [spec for _i, spec in pending]
         if jobs > 1 and len(todo) > 1:
             with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-                fresh = list(pool.map(execute_spec, todo))
+                fresh_iter = pool.map(execute_spec, todo)
+                fresh = []
+                for point in fresh_iter:
+                    fresh.append(point)
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, point)
         else:
-            fresh = [execute_spec(spec) for spec in todo]
+            fresh = []
+            for spec in todo:
+                point = execute_spec(spec)
+                fresh.append(point)
+                done += 1
+                if progress is not None:
+                    progress(done, total, point)
         for (i, spec), point in zip(pending, fresh):
             results[i] = point
             if cache is not None:

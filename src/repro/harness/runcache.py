@@ -77,19 +77,21 @@ def _dumps(obj: Any) -> str:
 
 def spec_key(spec: RunSpec) -> str:
     """Stable SHA-256 cache key of a run spec (includes package version)."""
-    material = _dumps(
-        {
-            "schema": _SCHEMA,
-            "version": repro.__version__,
-            "framework": _canon(spec.framework),
-            "workload": spec.workload,
-            "workload_args": _canon(dict(spec.workload_args)),
-            "config": _canon(spec.config),
-            "nprocs": spec.nprocs,
-            "seed": spec.seed,
-        }
-    )
-    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+    material: Dict[str, Any] = {
+        "schema": _SCHEMA,
+        "version": repro.__version__,
+        "framework": _canon(spec.framework),
+        "workload": spec.workload,
+        "workload_args": _canon(dict(spec.workload_args)),
+        "config": _canon(spec.config),
+        "nprocs": spec.nprocs,
+        "seed": spec.seed,
+    }
+    # Only telemetric specs add the field, so every pre-telemetry cache
+    # entry keeps its key (no version bump, no mass invalidation).
+    if getattr(spec, "telemetry", False):
+        material["telemetry"] = True
+    return hashlib.sha256(_dumps(material).encode("utf-8")).hexdigest()
 
 
 def _decode_value(obj: Any) -> Any:
@@ -168,6 +170,7 @@ class RunCache:
             traced=_stats_from_payload(payload["traced"]),
             wall_seconds=float(payload["wall_seconds"]),
             cached=True,
+            telemetry=payload.get("telemetry"),
         )
 
     @staticmethod
@@ -197,6 +200,12 @@ class RunCache:
             "traced": _stats_payload(result.traced),
             "wall_seconds": result.wall_seconds,
         }
+        if result.telemetry is not None:
+            # Telemetry exports are already plain JSON (the collector
+            # normalizes through a json round trip), so they serialize
+            # byte-identically here and on reload — covered by the
+            # payload checksum like everything else.
+            payload["telemetry"] = result.telemetry
         entry = {
             "schema": _SCHEMA,
             "key": key,

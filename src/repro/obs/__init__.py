@@ -1,0 +1,56 @@
+"""Simulator-wide telemetry: metrics, tracepoints, spans, trace export.
+
+The paper's subject is making I/O behaviour observable; this package
+gives the *simulator itself* the same treatment, so performance and
+robustness work has data instead of guesses:
+
+* :mod:`repro.obs.metrics` — counters, gauges, log2-bucketed histograms
+  and step timelines, all stamped with **simulated** time;
+* :mod:`repro.obs.tracepoints` — the static tracepoint catalog threaded
+  through the hot layers (DES dispatch, network transfers, disk/PFS/cache
+  operations, MPI collectives, syscall dispatch), compiled to no-ops when
+  telemetry is off;
+* :mod:`repro.obs.spans` — a span-based sim-time profiler nesting spans
+  per node/rank;
+* :mod:`repro.obs.perfetto` — Chrome trace-event JSON export (loadable in
+  Perfetto / ``chrome://tracing``) plus a schema validator;
+* :mod:`repro.obs.report` — the ``repro observe`` summary report over an
+  exported payload.
+
+Telemetry is deterministic: it is stamped exclusively with simulated time
+and recorded in dispatch order, so the same seed produces byte-identical
+metric snapshots and span traces whether a sweep ran serially, fanned out
+over worker processes, or replayed from a warm run cache.
+
+Enable it around any simulation::
+
+    from repro.obs import tracepoints
+
+    with tracepoints.session() as col:
+        figure_series(2, ...)          # any simulated work
+        payload = col.export(end_time=...)
+"""
+
+from repro.obs import metrics, perfetto, report, spans, tracepoints
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.perfetto import to_chrome_trace, validate_chrome_trace
+from repro.obs.report import render_payload_summary, summarize_payload
+from repro.obs.spans import SpanRecorder
+from repro.obs.tracepoints import TelemetryCollector, TelemetryConfig, session
+
+__all__ = [
+    "metrics",
+    "tracepoints",
+    "spans",
+    "perfetto",
+    "report",
+    "render_payload_summary",
+    "summarize_payload",
+    "MetricsRegistry",
+    "SpanRecorder",
+    "TelemetryCollector",
+    "TelemetryConfig",
+    "session",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

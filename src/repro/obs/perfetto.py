@@ -1,0 +1,160 @@
+"""Chrome trace-event JSON export and validation.
+
+Converts a :class:`~repro.obs.spans.SpanRecorder` into the JSON object
+format of the Chrome trace-event specification, which Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` both load:
+
+* ``"M"`` metadata events name the process/thread tracks (one process per
+  simulated node, one thread per rank);
+* ``"X"`` complete events carry the spans (``ts``/``dur`` in µs);
+* ``"C"`` counter events carry queue-depth/occupancy series.
+
+:func:`validate_chrome_trace` checks an exported (or loaded) object
+against the parts of the spec the viewers actually require — CI runs it
+over every trace artifact so a malformed export fails the build rather
+than failing silently in a viewer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.errors import TelemetryError
+from repro.obs.metrics import canonical_json
+from repro.obs.spans import SpanRecorder
+
+__all__ = ["to_chrome_trace", "dumps_trace", "validate_chrome_trace"]
+
+_US = 1e6  # simulated seconds -> trace microseconds
+
+_VALID_PHASES = frozenset("BEXICMPSTFsftNODvV")
+
+
+def to_chrome_trace(spans: SpanRecorder) -> Dict[str, Any]:
+    """Render recorded spans/counters as a Chrome trace-event JSON object.
+
+    Event order is metadata first, then spans and counters in recording
+    order — deterministic for deterministic recorders.
+    """
+    events: List[Dict[str, Any]] = []
+    for pid, pname in sorted(spans.process_names.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": pname},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_sort_index",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": pid},
+            }
+        )
+    for (pid, tid), tname in sorted(spans.thread_names.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": tname},
+            }
+        )
+    for pid, tid, name, cat, ts, dur, args in spans.spans:
+        ev: Dict[str, Any] = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "ts": ts * _US,
+            "dur": dur * _US,
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            ev["args"] = args
+        events.append(ev)
+    for pid, name, ts, value in spans.counters:
+        events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "ts": ts * _US,
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": value},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dumps_trace(trace: Dict[str, Any]) -> str:
+    """Canonical (byte-stable) JSON text of a trace object."""
+    return canonical_json(trace)
+
+
+def _fail(problems: List[str], where: str, what: str) -> None:
+    problems.append("%s: %s" % (where, what))
+
+
+def validate_chrome_trace(obj: Any) -> None:
+    """Raise :class:`~repro.errors.TelemetryError` unless ``obj`` conforms.
+
+    Checks the JSON-object trace format: a dict with a ``traceEvents``
+    list whose entries each carry a known ``ph`` phase, the fields that
+    phase requires, and numeric timestamps.  (The array format — a bare
+    list of events — is also accepted, per the spec.)
+    """
+    problems: List[str] = []
+    if isinstance(obj, list):
+        events = obj
+    elif isinstance(obj, dict):
+        events = obj.get("traceEvents")
+        if not isinstance(events, list):
+            raise TelemetryError("trace object has no 'traceEvents' list")
+    else:
+        raise TelemetryError(
+            "trace must be a JSON object or array, got %s" % type(obj).__name__
+        )
+    for i, ev in enumerate(events):
+        if len(problems) >= 20:
+            problems.append("... (further problems suppressed)")
+            break
+        where = "traceEvents[%d]" % i
+        if not isinstance(ev, dict):
+            _fail(problems, where, "event is not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in _VALID_PHASES:
+            _fail(problems, where, "bad phase %r" % (ph,))
+            continue
+        if not isinstance(ev.get("name"), str):
+            _fail(problems, where, "missing/non-string 'name'")
+        if ph in ("B", "E", "X", "I", "C"):
+            if not isinstance(ev.get("ts"), (int, float)):
+                _fail(problems, where, "phase %s needs numeric 'ts'" % ph)
+            if not isinstance(ev.get("pid"), int):
+                _fail(problems, where, "phase %s needs integer 'pid'" % ph)
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            _fail(problems, where, "complete event needs numeric 'dur'")
+        if ph == "X" and isinstance(ev.get("dur"), (int, float)) and ev["dur"] < 0:
+            _fail(problems, where, "negative 'dur'")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                _fail(problems, where, "counter event needs numeric 'args'")
+        if ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                _fail(problems, where, "metadata event needs 'args'")
+    if problems:
+        raise TelemetryError(
+            "invalid Chrome trace-event JSON (%d problem(s)):\n  %s"
+            % (len(problems), "\n  ".join(problems))
+        )

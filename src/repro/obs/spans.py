@@ -1,0 +1,69 @@
+"""Span-based sim-time profiler.
+
+Spans are *complete* intervals — name, category, start, duration — on a
+two-level track hierarchy: ``pid`` is a node (one Perfetto process row
+per cluster node) and ``tid`` is a rank or simulated PID (one thread row
+per rank).  Overlapping spans on one track nest visually in Perfetto, so
+a syscall span containing its disk-service wait renders as a flame.
+
+Counter series (event-queue depth, fabric occupancy) ride along as
+Chrome ``"C"`` events.
+
+All timestamps are **simulated** seconds; the exporter scales to the
+microseconds Chrome's trace-event format expects.  Recording order is
+dispatch order, which is deterministic, so two same-seed runs produce
+identical span lists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["SpanRecorder"]
+
+#: pid used for simulator-global (non-node) tracks, e.g. the DES kernel.
+KERNEL_PID = -1
+
+
+class SpanRecorder:
+    """Accumulates spans, counter samples, and track naming metadata."""
+
+    __slots__ = ("spans", "counters", "process_names", "thread_names", "enabled")
+
+    def __init__(self, enabled: bool = True) -> None:
+        #: (pid, tid, name, cat, ts, dur, args-or-None), in recording order.
+        self.spans: List[Tuple[int, int, str, str, float, float, Optional[dict]]] = []
+        #: (pid, name, ts, value) counter samples, in recording order.
+        self.counters: List[Tuple[int, str, float, float]] = []
+        self.process_names: Dict[int, str] = {}
+        self.thread_names: Dict[Tuple[int, int], str] = {}
+        self.enabled = enabled
+
+    def name_track(self, pid: int, process_name: str, tid: Optional[int] = None,
+                   thread_name: Optional[str] = None) -> None:
+        """Register display names for a process row (and optionally a thread)."""
+        self.process_names.setdefault(pid, process_name)
+        if tid is not None and thread_name is not None:
+            self.thread_names.setdefault((pid, tid), thread_name)
+
+    def complete(
+        self,
+        pid: int,
+        tid: int,
+        name: str,
+        cat: str,
+        ts: float,
+        dur: float,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one finished span (simulated seconds)."""
+        if self.enabled:
+            self.spans.append((pid, tid, name, cat, ts, dur, args))
+
+    def counter(self, pid: int, name: str, ts: float, value: float) -> None:
+        """Record one counter sample (simulated seconds)."""
+        if self.enabled:
+            self.counters.append((pid, name, ts, value))
+
+    def __len__(self) -> int:
+        return len(self.spans)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Generator, Hashable, Optional
 
 from repro.des.resources import Resource
+from repro.obs.tracepoints import STATE as _TELEMETRY
 from repro.units import MiB
 
 __all__ = ["DiskParams", "BlockDevice"]
@@ -88,10 +89,20 @@ class BlockDevice:
             self._stream_pos[stream] = offset + nbytes
             self._bytes_served += nbytes
             self._ops_served += 1
+            col = _TELEMETRY.collector
+            if col is not None:
+                col.disk_op(
+                    self.name, self.sim.now, nbytes, sequential, self.queue.in_use
+                )
             if t > 0:
                 yield self.sim.timeout(t)
         finally:
             self.queue.release()
+            col = _TELEMETRY.collector
+            if col is not None:
+                col.metrics.sample(
+                    "disk.%s.busy" % self.name, self.sim.now, self.queue.in_use
+                )
         return t
 
     # -- accounting -----------------------------------------------------------

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Generator, Tuple
 
 from repro.errors import InvalidArgument
+from repro.obs.tracepoints import STATE as _TELEMETRY
 from repro.simfs.stackable import StackableFS
 from repro.simfs.vfs import CallerContext, FileSystem
 from repro.units import KiB, MiB
@@ -104,6 +105,9 @@ class CachingFS(StackableFS):
 
     def _flush_blocks(self, ctx: CallerContext, dirty_list) -> Generator[Any, Any, None]:
         bs = self.params.block_size
+        col = _TELEMETRY.collector
+        if col is not None and dirty_list:
+            col.cache_writeback(self.name, len(dirty_list))
         for ino, bidx in dirty_list:
             self.writebacks += 1
             yield from self.lower.op_write(
@@ -130,6 +134,9 @@ class CachingFS(StackableFS):
                 self._touch((ino, b), dirty=False)
         hit_blocks = [b for b in blocks if b not in missing]
         self.hits += len(hit_blocks)
+        col = _TELEMETRY.collector
+        if col is not None:
+            col.cache_access(self.name, len(hit_blocks), len(missing))
         if hit_blocks:
             yield self.sim.timeout(self.params.hit_cost * len(hit_blocks))
             for b in hit_blocks:
@@ -143,6 +150,9 @@ class CachingFS(StackableFS):
         """Write through or absorb (write-back), caching the blocks."""
         blocks = list(self._block_range(offset, nbytes))
         new = [b for b in blocks if (ino, b) not in self._blocks]
+        col = _TELEMETRY.collector
+        if col is not None:
+            col.cache_access(self.name, len(blocks) - len(new), len(new))
         dirty_evicted = list(self._evict_for(len(new)))
         yield from self._flush_blocks(ctx, dirty_evicted)
         if self.params.write_back:

@@ -25,6 +25,7 @@ from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 from repro.cluster.network import Network
 from repro.des.events import AllOf
 from repro.des.resources import Resource
+from repro.obs.tracepoints import STATE as _TELEMETRY
 from repro.simfs.blockdev import DiskParams
 from repro.simfs.raid import Raid5Geometry, Raid5Model
 from repro.simfs.vfs import CallerContext, FileSystem, Inode
@@ -177,6 +178,9 @@ class ParallelFS(FileSystem):
 
     def _meta_service(self, ctx: CallerContext, op: str) -> Generator[Any, Any, None]:
         # Metadata is an RPC to the metadata server.
+        col = _TELEMETRY.collector
+        if col is not None:
+            col.pfs_meta_rpc()
         yield from self.network.transfer(ctx.node.nic, 128)
         yield self.mds.acquire()
         try:
@@ -207,12 +211,28 @@ class ParallelFS(FileSystem):
             if not sequential:
                 server.seeks += 1
             t = server.raid.service_time(server_off, nbytes, sequential)
+            col = _TELEMETRY.collector
+            if col is not None:
+                col.pfs_chunk(
+                    server.queue.name,
+                    self.sim.now,
+                    nbytes,
+                    sequential,
+                    server.queue.in_use,
+                )
             if t > 0:
                 yield self.sim.timeout(t)
             server.bytes_served += nbytes
             server.ops_served += 1
         finally:
             server.queue.release()
+            col = _TELEMETRY.collector
+            if col is not None:
+                col.metrics.sample(
+                    "pfs.%s.in_use" % server.queue.name,
+                    self.sim.now,
+                    server.queue.in_use,
+                )
 
     def _data_service(
         self, ctx: CallerContext, inode: Inode, offset: int, nbytes: int, write: bool
@@ -224,11 +244,15 @@ class ParallelFS(FileSystem):
                 lock = self._locks[inode.ino] = Resource(
                     self.sim, capacity=1, name="extlock:%d" % inode.ino
                 )
+            col = _TELEMETRY.collector
+            t_lock = self.sim.now if col is not None else 0.0
             yield lock.acquire()
             try:
                 yield self.sim.timeout(self.params.extent_lock_time)
             finally:
                 lock.release()
+            if col is not None:
+                col.pfs_lock_wait(self.sim.now - t_lock)
         chunks = self.map_stripes(offset, nbytes)
         if len(chunks) == 1:
             server, soff, run = chunks[0]

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.des.events import Completion
 from repro.errors import CollectiveMismatch, RankError
+from repro.obs.tracepoints import STATE as _TELEMETRY
 from repro.simos.process import SimProcess
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator", "MPIRank"]
@@ -186,6 +187,9 @@ class MPIRank:
         payload_bytes = _DEFAULT_PAYLOAD if nbytes is None else nbytes
 
         def body():
+            col = _TELEMETRY.collector
+            if col is not None:
+                col.mpi_message(payload_bytes)
             yield from self.comm.network.transfer(self.proc.node.nic, payload_bytes)
             self.comm.mailboxes[dest].deliver(self.rank, tag, obj)
             self.comm.messages_sent += 1
@@ -222,6 +226,8 @@ class MPIRank:
         payload_bytes: int = _DEFAULT_PAYLOAD,
     ):
         def body():
+            col = _TELEMETRY.collector
+            t0 = self.sim.now if col is not None else 0.0
             inst, is_last = self.comm.join_collective(self.rank, name, value, root)
             if is_last:
                 # The last arriver pays the tree propagation, then frees all.
@@ -233,6 +239,14 @@ class MPIRank:
                 inst.release.succeed(None)
             else:
                 yield inst.release
+            if col is not None:
+                col.mpi_collective(
+                    name,
+                    self.proc.node.index,
+                    self.rank,
+                    t0,
+                    self.sim.now - t0,
+                )
             return extract(inst)
 
         return body()

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Generator, List, Optional
 
 from repro.errors import BadFileDescriptor, InvalidArgument, SimOSError
+from repro.obs.tracepoints import STATE as _TELEMETRY
 from repro.simfs.vfs import (
     CallerContext,
     O_APPEND,
@@ -101,7 +102,14 @@ class SimProcess:
     def _charge(self, seconds: float) -> Generator[Any, Any, None]:
         """Charge CPU-side work, scaled by the current slowdown factor."""
         if seconds > 0:
-            yield self.sim.timeout(seconds * self.cpu_factor)
+            col = _TELEMETRY.collector
+            if col is not None:
+                node_index = self.node.index
+                col.cpu_busy(node_index, self.sim.now, +1)
+                yield self.sim.timeout(seconds * self.cpu_factor)
+                col.cpu_busy(node_index, self.sim.now, -1)
+            else:
+                yield self.sim.timeout(seconds * self.cpu_factor)
 
     def _charge_raw(self, seconds: float) -> Generator[Any, Any, None]:
         """Charge tracer-side work (not subject to the slowdown factor)."""
@@ -122,6 +130,8 @@ class SimProcess:
     ) -> Generator[Any, Any, Any]:
         trace_result = typed.pop("trace_result", None)
         node = self.node
+        col = _TELEMETRY.collector
+        t0_sim = self.sim.now if col is not None else 0.0
         t0_local = node.now_local()
         yield from self._charge(base_cost)
         for ip in interposers:
@@ -164,6 +174,24 @@ class SimProcess:
             )
             for ip in interposers:
                 ip.record(event)
+        if col is not None:
+            # Telemetry spans use global simulated time (not the node's
+            # skewed local clock) so tracks from different nodes line up
+            # in Perfetto and the payload stays deterministic.
+            if self.rank is not None:
+                tid, tname = self.rank, "rank %d" % self.rank
+            else:
+                tid, tname = self.pid, "pid %d" % self.pid
+            col.os_track(node.index, node.hostname, tid, tname)
+            col.os_call(
+                node.index,
+                tid,
+                layer.value,
+                name,
+                t0_sim,
+                self.sim.now - t0_sim,
+                typed.get("nbytes"),
+            )
         if error is not None:
             raise error
         return result

@@ -466,3 +466,41 @@ def test_run_fast_skips_check_after_window():
     # really gone from the hot path.
     assert sim.run_fast(check_first=0) == 4.0
     assert sim.events_executed == 5
+
+
+def test_wall_time_rates_exposed_after_run():
+    sim = Simulator()
+
+    def body():
+        for _ in range(100):
+            yield Timeout(0.5)
+
+    sim.spawn(body())
+    assert sim.wall_seconds == 0.0
+    assert sim.events_per_sec == 0.0
+    assert sim.wall_time_per_sim_second == 0.0
+    sim.run()
+    assert sim.wall_seconds > 0.0
+    assert sim.events_per_sec > 0.0
+    assert sim.wall_time_per_sim_second > 0.0
+    assert sim.events_per_sec == pytest.approx(
+        sim.events_executed / sim.wall_seconds
+    )
+    assert sim.wall_time_per_sim_second == pytest.approx(
+        sim.wall_seconds / sim.now
+    )
+
+
+def test_wall_time_accumulates_across_runs():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(1.0)
+        yield Timeout(9.0)
+
+    sim.spawn(body())
+    sim.run_fast(until=5.0)
+    first = sim.wall_seconds
+    assert first > 0.0
+    sim.run_fast()
+    assert sim.wall_seconds > first

@@ -1,0 +1,105 @@
+"""Telemetry determinism: jobs=1 / jobs=N / warm cache byte-identity.
+
+The telemetry contract extends the sweep determinism contract: with a
+fixed seed, the exported metric snapshots and span traces must be
+byte-identical however the sweep executed, and must never perturb the
+simulated history they observe.
+"""
+
+import pytest
+
+from repro.harness.parallel import build_sweep_specs, execute_spec, run_sweep
+from repro.harness.runcache import RunCache, spec_key
+from repro.obs.perfetto import validate_chrome_trace
+from repro.obs.metrics import canonical_json
+from repro.units import KiB, MiB
+from repro.workloads import AccessPattern
+
+QUICK = dict(block_sizes=[64 * KiB, 256 * KiB], total_bytes_per_rank=1 * MiB, nprocs=4)
+
+
+def _quick_specs(seed=0, telemetry=False):
+    return build_sweep_specs(
+        "lanl-trace",
+        "mpi_io_test",
+        {"pattern": AccessPattern.N_TO_N, "path": "/pfs/out"},
+        QUICK["block_sizes"],
+        QUICK["total_bytes_per_rank"],
+        nprocs=QUICK["nprocs"],
+        seed=seed,
+        telemetry=telemetry,
+    )
+
+
+def _telemetry_bytes(result):
+    return canonical_json([p.telemetry for p in result.points])
+
+
+class TestByteIdentity:
+    def test_serial_parallel_and_cache_agree(self, tmp_path):
+        specs = _quick_specs(telemetry=True)
+        serial = run_sweep(specs, jobs=1)
+        fanned = run_sweep(specs, jobs=4)
+        cache = RunCache(tmp_path / "cache")
+        cold = run_sweep(specs, jobs=2, cache=cache)
+        warm = run_sweep(specs, jobs=1, cache=cache)
+        assert all(p.cached for p in warm.points)
+        reference = _telemetry_bytes(serial)
+        assert _telemetry_bytes(fanned) == reference
+        assert _telemetry_bytes(cold) == reference
+        assert _telemetry_bytes(warm) == reference
+
+    def test_payloads_carry_valid_traces(self):
+        point = execute_spec(_quick_specs(telemetry=True)[0])
+        assert set(point.telemetry) == {"untraced", "traced"}
+        for payload in point.telemetry.values():
+            assert payload["schema"] == "repro/telemetry/v1"
+            validate_chrome_trace(payload["trace"])
+            assert payload["metrics"]["counters"]["des.events_dispatched"] > 0
+
+    def test_different_points_have_different_payloads(self):
+        small, large = (execute_spec(s) for s in _quick_specs(telemetry=True))
+        assert canonical_json(small.telemetry) != canonical_json(large.telemetry)
+
+
+class TestObservationIsPassive:
+    def test_telemetry_does_not_change_measurements(self):
+        plain = execute_spec(_quick_specs()[0])
+        observed = execute_spec(_quick_specs(telemetry=True)[0])
+        assert plain.telemetry is None
+        assert observed.untraced.elapsed == plain.untraced.elapsed
+        assert observed.traced.elapsed == plain.traced.elapsed
+        assert observed.events_executed == plain.events_executed
+
+    def test_exported_event_count_matches_fingerprint(self):
+        spec = _quick_specs(telemetry=True)[0]
+        point = execute_spec(spec)
+        total = sum(
+            payload["metrics"]["counters"]["des.events_dispatched"]
+            for payload in point.telemetry.values()
+        )
+        assert total == point.events_executed
+
+
+class TestCacheKeying:
+    def test_telemetry_widens_the_key(self):
+        plain, observed = _quick_specs()[0], _quick_specs(telemetry=True)[0]
+        assert spec_key(plain) != spec_key(observed)
+        # Same telemetry flag -> same key (the key stays deterministic).
+        assert spec_key(observed) == spec_key(_quick_specs(telemetry=True)[0])
+
+    def test_round_trip_preserves_payload_exactly(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        spec = _quick_specs(telemetry=True)[0]
+        fresh = execute_spec(spec)
+        cache.put(spec, fresh)
+        replayed = cache.get(spec)
+        assert replayed is not None
+        assert replayed.telemetry == fresh.telemetry
+        assert canonical_json(replayed.telemetry) == canonical_json(fresh.telemetry)
+
+    def test_plain_entry_not_served_for_telemetry_spec(self, tmp_path):
+        cache = RunCache(tmp_path / "cache")
+        plain = _quick_specs()[0]
+        cache.put(plain, execute_spec(plain))
+        assert cache.get(_quick_specs(telemetry=True)[0]) is None

@@ -1,0 +1,91 @@
+"""Chrome trace-event export shape and validator behaviour."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.perfetto import dumps_trace, to_chrome_trace, validate_chrome_trace
+from repro.obs.spans import KERNEL_PID, SpanRecorder
+
+
+def _recorder():
+    rec = SpanRecorder()
+    rec.name_track(KERNEL_PID, "sim-kernel")
+    rec.name_track(0, "node0 n0", 3, "rank 3")
+    rec.complete(0, 3, "write", "vfs", 1.0, 0.5, {"nbytes": 4096})
+    rec.complete(0, 3, "read", "vfs", 2.0, 0.25)
+    rec.counter(KERNEL_PID, "des.queue_depth", 0.5, 7)
+    return rec
+
+
+class TestExport:
+    def test_metadata_sorts_before_spans_and_counters(self):
+        trace = to_chrome_trace(_recorder())
+        phases = [e["ph"] for e in trace["traceEvents"]]
+        first_non_meta = phases.index("X")
+        assert all(p == "M" for p in phases[:first_non_meta])
+        assert phases.count("X") == 2
+        assert phases.count("C") == 1
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_timestamps_scale_to_microseconds(self):
+        trace = to_chrome_trace(_recorder())
+        span = next(e for e in trace["traceEvents"] if e["ph"] == "X")
+        assert span["ts"] == 1.0e6
+        assert span["dur"] == 0.5e6
+        counter = next(e for e in trace["traceEvents"] if e["ph"] == "C")
+        assert counter["ts"] == 0.5e6
+        assert counter["args"] == {"value": 7}
+
+    def test_span_args_only_when_present(self):
+        trace = to_chrome_trace(_recorder())
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert spans[0]["args"] == {"nbytes": 4096}
+        assert "args" not in spans[1]
+
+    def test_export_validates_and_round_trips(self):
+        trace = to_chrome_trace(_recorder())
+        validate_chrome_trace(trace)
+        text = dumps_trace(trace)
+        reloaded = json.loads(text)
+        validate_chrome_trace(reloaded)
+        assert dumps_trace(reloaded) == text
+
+
+class TestValidator:
+    def test_accepts_bare_event_array(self):
+        validate_chrome_trace(
+            [{"ph": "I", "name": "mark", "ts": 0.0, "pid": 1, "tid": 0}]
+        )
+
+    def test_rejects_non_trace_values(self):
+        with pytest.raises(TelemetryError):
+            validate_chrome_trace("not a trace")
+        with pytest.raises(TelemetryError):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(TelemetryError, match="bad phase"):
+            validate_chrome_trace([{"ph": "Z", "name": "x", "ts": 0, "pid": 0}])
+
+    def test_rejects_missing_ts(self):
+        with pytest.raises(TelemetryError, match="needs numeric 'ts'"):
+            validate_chrome_trace([{"ph": "X", "name": "x", "pid": 0, "dur": 1}])
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(TelemetryError, match="negative 'dur'"):
+            validate_chrome_trace(
+                [{"ph": "X", "name": "x", "ts": 0, "pid": 0, "dur": -1}]
+            )
+
+    def test_rejects_non_numeric_counter_args(self):
+        with pytest.raises(TelemetryError, match="numeric 'args'"):
+            validate_chrome_trace(
+                [{"ph": "C", "name": "c", "ts": 0, "pid": 0, "args": {"v": "hi"}}]
+            )
+
+    def test_caps_reported_problems(self):
+        bad = [{"ph": "Z", "name": "x"} for _ in range(40)]
+        with pytest.raises(TelemetryError, match="suppressed"):
+            validate_chrome_trace(bad)

@@ -1,0 +1,73 @@
+"""CLI telemetry flow: figure --telemetry artifacts and `repro observe`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def telemetry_dir(tmp_path_factory):
+    """One quick telemetry-enabled figure run shared by the module's tests."""
+    root = tmp_path_factory.mktemp("telemetry-run")
+    import contextlib
+    import os
+
+    @contextlib.contextmanager
+    def chdir(path):
+        old = os.getcwd()
+        os.chdir(path)
+        try:
+            yield
+        finally:
+            os.chdir(old)
+
+    with chdir(root):
+        assert main(["figure", "2", "--quick", "--no-cache", "--telemetry"]) == 0
+    return root / "telemetry"
+
+
+def test_figure_telemetry_writes_artifacts(telemetry_dir, capsys):
+    files = sorted(p.name for p in telemetry_dir.iterdir())
+    # 2 quick block sizes x (combined + untraced trace + traced trace).
+    assert len(files) == 6
+    assert "fig2_bs65536.telemetry.json" in files
+    assert "fig2_bs65536.untraced.trace.json" in files
+    assert "fig2_bs65536.traced.trace.json" in files
+
+
+def test_observe_combined_artifact(telemetry_dir, capsys):
+    path = telemetry_dir / "fig2_bs65536.telemetry.json"
+    assert main(["observe", str(path), "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry [untraced]" in out
+    assert "telemetry [traced]" in out
+    assert "kernel events" in out
+    assert "call/op mix:" in out
+    assert out.count("trace: valid") == 2
+
+
+def test_observe_bare_trace(telemetry_dir, capsys):
+    path = telemetry_dir / "fig2_bs65536.traced.trace.json"
+    assert main(["observe", str(path)]) == 0
+    assert "valid Chrome trace:" in capsys.readouterr().out
+
+
+def test_observe_rejects_non_telemetry_json(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"hello": "world"}))
+    assert main(["observe", str(bogus)]) == 1
+    assert "not a telemetry artifact" in capsys.readouterr().err
+
+
+def test_observe_rejects_corrupt_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.trace.json"
+    bad.write_text(json.dumps({"traceEvents": [{"ph": "Z", "name": "x"}]}))
+    assert main(["observe", str(bad)]) == 1
+    assert "bad phase" in capsys.readouterr().err
+
+
+def test_observe_missing_file_reports_error(tmp_path, capsys):
+    assert main(["observe", str(tmp_path / "nope.json")]) == 1
+    assert "error:" in capsys.readouterr().err
