@@ -21,6 +21,13 @@ Commands:
     ``BENCH_sweep.json`` artifact records wall-clock per point, events/sec,
     and the cache hit rate.  ``--progress`` (or a tty stderr) shows live
     ``N/M points, ETA`` lines while the sweep runs.
+``chaos [--matrix NAME] [--frameworks ...] [--jobs N] [--report-out PATH]``
+    Run a named fault matrix (node crash, network partition, disk storms)
+    against the paper's frameworks under the simulator-wide fault plane,
+    reporting per-scenario survival and overhead deltas versus the
+    no-fault baseline.  Every scenario is bounded by a simulated-time
+    horizon with exponential-backoff retries — no hangs — and the matrix
+    is byte-deterministic across ``--jobs`` values and warm-cache reruns.
 ``observe PATH [--validate]``
     Summary report of a telemetry artifact written by ``--telemetry``
     (per-layer call mix, bytes moved, utilizations, span counts);
@@ -304,6 +311,32 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults.chaos import (
+        CHAOS_FRAMEWORKS,
+        render_chaos_report,
+        run_chaos_matrix,
+    )
+
+    frameworks = tuple(args.frameworks) if args.frameworks else CHAOS_FRAMEWORKS
+    report = run_chaos_matrix(
+        matrix=args.matrix,
+        frameworks=frameworks,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+        progress=_make_progress(args),
+    )
+    print(render_chaos_report(report), end="")
+    if args.report_out:
+        from repro.obs.metrics import canonical_json
+
+        Path(args.report_out).write_text(canonical_json(report) + "\n")
+        print("wrote %s" % args.report_out)
+    return 0
+
+
 def _cmd_observe(args: argparse.Namespace) -> int:
     import json
 
@@ -465,6 +498,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sweep benchmark artifact here ('' to skip)",
     )
     p.set_defaults(fn=_cmd_figures)
+
+    from repro.faults.chaos import CHAOS_MATRICES
+
+    p = sub.add_parser(
+        "chaos", help="run a fault matrix against the frameworks (no hangs)"
+    )
+    p.add_argument(
+        "--matrix",
+        choices=sorted(CHAOS_MATRICES),
+        default="smoke",
+        help="named fault matrix to run (default smoke)",
+    )
+    p.add_argument(
+        "--frameworks",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="framework subset (default: lanl-trace tracefs ptrace)",
+    )
+    p.add_argument(
+        "--report-out",
+        default="CHAOS_report.json",
+        metavar="PATH",
+        help="write the canonical-JSON chaos report here ('' to skip)",
+    )
+    add_sweep_flags(p)
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("observe", help="summarize a --telemetry artifact")
     p.add_argument("path", help="*.telemetry.json or *.trace.json file")

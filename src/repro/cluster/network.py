@@ -74,6 +74,12 @@ class Network:
         time, then waits propagation latency.  Use with ``yield from``.
         """
         serialization = self.transfer_time(nbytes)
+        plane = getattr(self.sim, "fault_plane", None)
+        if plane is not None:
+            # Partition stalls, latency spikes and packet-drop retransmits
+            # happen before the NIC is held, so degraded senders don't
+            # serialize healthy traffic behind them.
+            yield from plane.network_gate(sender_nic, nbytes)
         col = _TELEMETRY.collector
         t0 = self.sim.now if col is not None else 0.0
         yield sender_nic.acquire()

@@ -66,6 +66,9 @@ class Node:
         # One full-duplex-simplified NIC: transfers through this node queue here.
         self.nic = Resource(sim, capacity=1, name="nic:%s" % self.hostname)
         self.cpu_factor = 1.0
+        # Cleared/restored by the fault plane on scheduled crash/restart;
+        # syscalls dispatched on a down node raise NodeCrashed.
+        self.up = True
 
     # -- time ---------------------------------------------------------------
 

@@ -65,6 +65,7 @@ class Simulator:
         "seed",
         "_events_executed",
         "_wall_seconds",
+        "fault_plane",
     )
 
     def __init__(self, seed: int = 0):
@@ -75,6 +76,10 @@ class Simulator:
         self.seed = seed
         self._events_executed = 0
         self._wall_seconds = 0.0
+        # Set by repro.faults.plane.FaultPlane.install(); subsystems consult
+        # it with getattr(sim, "fault_plane", None)-style gates so a plain
+        # simulator pays nothing for the fault plane's existence.
+        self.fault_plane = None
 
     # -- time & scheduling --------------------------------------------------
 

@@ -77,6 +77,32 @@ class SimTimeError(SimulationError):
     """An operation would move simulated time backwards."""
 
 
+class SimTimeoutError(SimulationError):
+    """A bounded run hit its simulated-time horizon with work still pending.
+
+    Raised by :func:`repro.simmpi.runtime.mpirun` (and the chaos harness)
+    when a job was given a sim-time budget and ranks were still running
+    when it expired.  ``pending_ranks`` names them; ``horizon`` is the
+    budget that was exceeded.  The harness uses this as the retry signal
+    for its exponential-backoff policy — a timed-out point is re-run with
+    a doubled horizon rather than reported as a hang.
+    """
+
+    def __init__(self, horizon: float, pending_ranks: list[int] | None = None):
+        self.horizon = float(horizon)
+        self.pending_ranks = list(pending_ranks) if pending_ranks is not None else []
+        msg = "job exceeded its simulated-time horizon of %gs" % self.horizon
+        if self.pending_ranks:
+            msg += " with rank(s) still running: %s" % ", ".join(
+                str(r) for r in self.pending_ranks
+            )
+        super().__init__(msg)
+
+
+class FaultError(SimulationError):
+    """A fault schedule or fault plane was malformed or misused."""
+
+
 # ---------------------------------------------------------------------------
 # Simulated OS / file system
 # ---------------------------------------------------------------------------
@@ -150,6 +176,17 @@ class NotMounted(SimOSError):
     """Path prefix has no mounted file system."""
 
     errno_name = "ENODEV"
+
+
+class NodeCrashed(SimOSError):
+    """The node a process runs on was killed by the fault plane.
+
+    Doubles as the interrupt exception thrown into rank processes when
+    their node crashes, and as the error any syscall dispatched on a
+    down node raises — the closest POSIX analogue is EHOSTDOWN.
+    """
+
+    errno_name = "EHOSTDOWN"
 
 
 # ---------------------------------------------------------------------------
@@ -235,6 +272,28 @@ class MissingFeatureError(TaxonomyError):
 
 class ReplayError(ReproError):
     """Replayable-trace generation or replay failed."""
+
+
+class ReplayDivergence(ReplayError):
+    """The pseudo-application's rank scripts disagree on synchronization.
+
+    Partial capture (e.g. a node crash truncating a rank's trace) leaves
+    ranks with different synchronization-point counts; honoring syncs
+    would deadlock the replay.  The replayer detects this up front and
+    reports it — replay reports divergence instead of hanging.
+    ``sync_counts`` maps rank -> number of sync ops in its script.
+    """
+
+    def __init__(self, sync_counts: dict[int, int]):
+        self.sync_counts = dict(sync_counts)
+        detail = ", ".join(
+            "rank %d: %d" % (r, n) for r, n in sorted(self.sync_counts.items())
+        )
+        super().__init__(
+            "replay diverged: rank scripts disagree on synchronization "
+            "points (%s) — the trace is partial (crash-truncated capture?); "
+            "replay with honor_sync=False or regenerate the trace" % detail
+        )
 
 
 class HostTracingError(ReproError):

@@ -1,0 +1,66 @@
+"""Cluster-wide fault injection: schedules, the fault plane, chaos runs.
+
+``repro.faults`` generalizes the single-filesystem
+:class:`~repro.simfs.faults.FaultInjectingFS` into a simulator-wide
+*fault plane*: one declarative, seeded :class:`FaultSchedule` drives node
+crashes, network partitions, link degradation and disk fault storms
+through hooks in the DES kernel, the cluster network, the simulated OS
+and the VFS — deterministically, off named RNG streams, so fault runs
+stay byte-identical across ``jobs=1``/``jobs=N``/warm-cache.
+"""
+
+from repro.faults.chaos import (
+    CHAOS_FRAMEWORKS,
+    CHAOS_MATRICES,
+    ChaosScenario,
+    FaultRunOutcome,
+    build_chaos_specs,
+    execute_fault_spec,
+    render_chaos_report,
+    run_chaos_matrix,
+    run_traced_with_faults,
+    run_under_faults,
+)
+from repro.faults.corrupt import (
+    bit_flip,
+    crash_truncation_corpus,
+    crashed_rank_blob,
+    torn_write,
+)
+from repro.faults.plane import FaultPlane, ScheduledFaultFS, install_fault_plane
+from repro.faults.schedule import (
+    FOREVER,
+    DiskErrorStorm,
+    DiskSlowdown,
+    FaultSchedule,
+    LinkDegradation,
+    NetworkPartition,
+    NodeCrash,
+)
+
+__all__ = [
+    "FOREVER",
+    "NodeCrash",
+    "NetworkPartition",
+    "LinkDegradation",
+    "DiskSlowdown",
+    "DiskErrorStorm",
+    "FaultSchedule",
+    "FaultPlane",
+    "ScheduledFaultFS",
+    "install_fault_plane",
+    "ChaosScenario",
+    "CHAOS_FRAMEWORKS",
+    "CHAOS_MATRICES",
+    "FaultRunOutcome",
+    "run_under_faults",
+    "run_traced_with_faults",
+    "execute_fault_spec",
+    "build_chaos_specs",
+    "run_chaos_matrix",
+    "render_chaos_report",
+    "torn_write",
+    "bit_flip",
+    "crash_truncation_corpus",
+    "crashed_rank_blob",
+]

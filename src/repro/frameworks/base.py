@@ -63,6 +63,17 @@ class TracingFramework:
         """Assemble the run's trace bundle after the job completed."""
         return TraceBundle(metadata={"framework": self.name})
 
+    def on_node_crash(self, node_index: int, at: float, ranks: Any) -> None:
+        """React to the fault plane killing a node hosting traced ranks.
+
+        ``ranks`` lists the rank numbers that were running on the node.
+        The default does nothing — a framework whose capture path buffers
+        data on the node (LANL-Trace's unflushed trace tail, //TRACE's
+        in-memory event window) overrides this to model what that crash
+        does to the captured trace.  Called at simulated time ``at``,
+        after the node is marked down and its ranks interrupted.
+        """
+
     # -- taxonomy ------------------------------------------------------------
 
     def classification(self):

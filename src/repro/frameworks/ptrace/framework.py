@@ -62,6 +62,9 @@ class PTraceConfig:
     per_event_cost: float = 25e-6
     cpu_factor: float = 1.0
     record_mpi_sync: bool = True  # sync markers improve replay scripts
+    # In-memory event window not yet spilled to the trace store; a node
+    # crash loses this many trailing events from the rank's capture.
+    event_window: int = 64
 
 
 @register_framework
@@ -80,6 +83,7 @@ class PTrace(TracingFramework):
         self.config = config or PTraceConfig()
         self._sinks: Dict[int, TraceFile] = {}
         self._interposers: List[Interposer] = []
+        self._partial_ranks: Dict[int, int] = {}
 
     def setup_rank(self, rank: int, proc: Any, mpirank: Any) -> None:
         """Preload the interposition library onto one rank (attach seams)."""
@@ -107,15 +111,35 @@ class PTrace(TracingFramework):
             proc.attach(sync_ip, EventLayer.LIBCALL)
             self._interposers.append(sync_ip)
 
+    def on_node_crash(self, node_index: int, at: float, ranks: Any) -> None:
+        """A crash drops the in-memory event window of the node's ranks.
+
+        The surviving capture is *partial*: its rank scripts end early, so
+        a subsequent replay sees mismatched synchronization counts and
+        reports :class:`~repro.errors.ReplayDivergence` instead of
+        deadlocking on a sync point the crashed rank never recorded.
+        """
+        for rank in ranks:
+            sink = self._sinks.get(rank)
+            if sink is None:
+                continue
+            lost = min(len(sink.events), self.config.event_window)
+            if lost:
+                del sink.events[-lost:]
+            self._partial_ranks[rank] = self._partial_ranks.get(rank, 0) + lost
+
     def finalize(self, job: Any) -> TraceBundle:
         """Collect per-rank I/O traces into one bundle."""
+        metadata = {
+            "framework": self.name,
+            "display_name": self.display_name,
+            "nprocs": job.nprocs,
+        }
+        if self._partial_ranks:
+            metadata["partial_ranks"] = dict(self._partial_ranks)
         return TraceBundle(
             files=dict(self._sinks),
-            metadata={
-                "framework": self.name,
-                "display_name": self.display_name,
-                "nprocs": job.nprocs,
-            },
+            metadata=metadata,
         )
 
     @property

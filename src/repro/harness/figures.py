@@ -78,13 +78,19 @@ def paper_testbed(seed: int = 0, nprocs: int = 32) -> TestbedConfig:
 
 @dataclass(frozen=True)
 class FigurePoint:
-    """One x-position of a figure: a block size with its measurements."""
+    """One x-position of a figure: a block size with its measurements.
+
+    ``error`` is the graceful-degradation seam: a point whose measurement
+    failed (fault injection, timeout...) carries zeroed numbers plus the
+    annotation here, and the figure is still emitted around it.
+    """
 
     block_size: int
     untraced_bandwidth: float
     traced_bandwidth: float
     bandwidth_overhead: float  # fraction in [0, 1)
     elapsed_overhead: float  # fraction, may exceed 1
+    error: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -127,6 +133,7 @@ def _figure_points(sizes: Sequence[int], measurements: Sequence[Any]) -> List[Fi
             traced_bandwidth=m.traced.aggregate_bandwidth,
             bandwidth_overhead=m.bandwidth_overhead,
             elapsed_overhead=m.elapsed_overhead,
+            error=getattr(m, "error", None),
         )
         for bs, m in zip(sizes, measurements)
     ]
@@ -270,7 +277,16 @@ def run_figures(
                     "cached": point.cached,
                 }
             )
-    overheads = [p.elapsed_overhead for s in series.values() for p in s.points]
+    # Failed (annotated) points carry zeroed numbers; keep them out of the
+    # headline range so one bad point doesn't fake a 0% minimum.
+    overheads = [
+        p.elapsed_overhead
+        for s in series.values()
+        for p in s.points
+        if p.error is None
+    ]
+    if not overheads:
+        overheads = [0.0]
     return FigureSweep(
         series=series,
         overhead_range={"min": min(overheads), "max": max(overheads)},

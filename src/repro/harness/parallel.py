@@ -49,6 +49,7 @@ __all__ = [
     "SweepResult",
     "build_sweep_specs",
     "execute_spec",
+    "execute_spec_safe",
     "run_sweep",
 ]
 
@@ -129,6 +130,16 @@ class RunSpec:
     nprocs: Optional[int] = None
     seed: Optional[int] = None
     telemetry: bool = False
+    #: Optional :class:`~repro.faults.schedule.FaultSchedule` to install on
+    #: both runs; routes the point through the chaos executor.  Part of the
+    #: cache key (faulted and plain points never alias).
+    faults: Optional[Any] = None
+    #: Simulated-time horizon per attempt; exceeding it raises
+    #: :class:`~repro.errors.SimTimeoutError` instead of hanging.
+    sim_timeout: Optional[float] = None
+    #: Timeout retries (exponential horizon doubling) before the point is
+    #: annotated as failed.
+    retries: int = 0
 
     @staticmethod
     def create(
@@ -139,6 +150,9 @@ class RunSpec:
         nprocs: Optional[int] = None,
         seed: Optional[int] = None,
         telemetry: bool = False,
+        faults: Optional[Any] = None,
+        sim_timeout: Optional[float] = None,
+        retries: int = 0,
     ) -> "RunSpec":
         """Construct a spec from plain arguments (dict args, name or spec)."""
         return RunSpec(
@@ -149,6 +163,9 @@ class RunSpec:
             nprocs=nprocs,
             seed=seed,
             telemetry=telemetry,
+            faults=faults,
+            sim_timeout=sim_timeout,
+            retries=retries,
         )
 
     def args_dict(self) -> Dict[str, Any]:
@@ -243,6 +260,15 @@ class PointResult:
     wall_seconds: float = 0.0
     cached: bool = False
     telemetry: Optional[Dict[str, Any]] = None
+    #: Failure annotation: ``None`` for a completed point, otherwise a
+    #: one-line description ("traced: node-crash (...)").  Failed points
+    #: carry zeroed/partial stats and still render (as FAILED rows).
+    error: Optional[str] = None
+    #: How many attempts the slower of the two runs took (retries + 1 max).
+    attempts: int = 1
+    #: Chaos payload (fault log, counters, per-run status) for points run
+    #: under a fault schedule; canonical-JSON-clean for byte-identity.
+    chaos: Optional[Dict[str, Any]] = None
 
     @property
     def elapsed_overhead(self) -> float:
@@ -344,6 +370,10 @@ def execute_spec(spec: RunSpec) -> PointResult:
     With ``spec.telemetry`` each of the two runs gets its own telemetry
     session, and the exported payloads ride along on the result.
     """
+    if spec.faults is not None or spec.sim_timeout is not None:
+        from repro.faults.chaos import execute_fault_spec
+
+        return execute_fault_spec(spec)
     t0 = time.perf_counter()
     if spec.telemetry:
         from repro.harness.experiment import run_traced, run_untraced
@@ -393,6 +423,26 @@ def execute_spec(spec: RunSpec) -> PointResult:
     )
 
 
+def execute_spec_safe(spec: RunSpec) -> PointResult:
+    """:func:`execute_spec`, degrading library failures to annotated points.
+
+    A point that raises a :class:`~repro.errors.ReproError` (injected I/O
+    storm, deadlock, mis-specified schedule...) becomes a zero-stats
+    result with ``error`` set instead of aborting the whole sweep —
+    figures still come out, with the failed point annotated.  Non-library
+    exceptions (genuine bugs) still propagate.
+    """
+    try:
+        return execute_spec(spec)
+    except ReproError as exc:
+        return PointResult(
+            params=spec.workload_args,
+            untraced=RunStats(0.0, 0, 0),
+            traced=RunStats(0.0, 0, 0),
+            error="%s: %s" % (type(exc).__name__, exc),
+        )
+
+
 def run_sweep(
     specs: List[RunSpec],
     jobs: int = 1,
@@ -434,7 +484,7 @@ def run_sweep(
         todo = [spec for _i, spec in pending]
         if jobs > 1 and len(todo) > 1:
             with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-                fresh_iter = pool.map(execute_spec, todo)
+                fresh_iter = pool.map(execute_spec_safe, todo)
                 fresh = []
                 for point in fresh_iter:
                     fresh.append(point)
@@ -444,7 +494,7 @@ def run_sweep(
         else:
             fresh = []
             for spec in todo:
-                point = execute_spec(spec)
+                point = execute_spec_safe(spec)
                 fresh.append(point)
                 done += 1
                 if progress is not None:

@@ -30,6 +30,11 @@ def render_figure(series: FigureSeries) -> str:
         "-" * 72,
     ]
     for p in series.points:
+        if getattr(p, "error", None):
+            lines.append(
+                "%-10s   FAILED: %s" % (format_size(p.block_size), p.error)
+            )
+            continue
         lines.append(
             "%-10s %16s %16s %11.1f%% %11.1f%%"
             % (

@@ -64,6 +64,9 @@ def _canon(obj: Any) -> Any:
         }
     if isinstance(obj, dict):
         return {str(k): _canon(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (frozenset, set)):
+        # Fault-event op sets; canonical order makes equal sets hash equal.
+        return sorted(_canon(v) for v in obj)
     if isinstance(obj, (list, tuple)):
         return [_canon(v) for v in obj]
     if isinstance(obj, (str, int, float, bool)) or obj is None:
@@ -91,6 +94,12 @@ def spec_key(spec: RunSpec) -> str:
     # entry keeps its key (no version bump, no mass invalidation).
     if getattr(spec, "telemetry", False):
         material["telemetry"] = True
+    # Same widening rule for the fault plane: only faulted/bounded specs
+    # key on the chaos fields, so plain points keep their old keys.
+    if getattr(spec, "faults", None) is not None or getattr(spec, "sim_timeout", None) is not None:
+        material["faults"] = _canon(spec.faults)
+        material["sim_timeout"] = spec.sim_timeout
+        material["retries"] = spec.retries
     return hashlib.sha256(_dumps(material).encode("utf-8")).hexdigest()
 
 
@@ -171,6 +180,9 @@ class RunCache:
             wall_seconds=float(payload["wall_seconds"]),
             cached=True,
             telemetry=payload.get("telemetry"),
+            error=payload.get("error"),
+            attempts=int(payload.get("attempts", 1)),
+            chaos=payload.get("chaos"),
         )
 
     @staticmethod
@@ -206,6 +218,14 @@ class RunCache:
             # byte-identically here and on reload — covered by the
             # payload checksum like everything else.
             payload["telemetry"] = result.telemetry
+        if result.error is not None:
+            payload["error"] = result.error
+        if result.attempts != 1:
+            payload["attempts"] = result.attempts
+        if result.chaos is not None:
+            # Chaos payloads are canonical-JSON round-tripped at creation,
+            # so cached and fresh points compare byte-identical.
+            payload["chaos"] = result.chaos
         entry = {
             "schema": _SCHEMA,
             "key": key,

@@ -152,6 +152,17 @@ class TelemetryCollector:
         self.metrics.sample("net.fabric.in_use", t, in_use)
         self.spans.counter(KERNEL_PID, "net.fabric.in_use", t, in_use)
 
+    # -- repro.faults --------------------------------------------------------
+
+    def fault_event(self, kind: str, t: float) -> None:
+        """A scheduled fault fired or recovered (node_crash, heal, ...)."""
+        self.metrics.inc("faults.events")
+        self.metrics.inc("faults.%s" % kind)
+
+    def fault_injection(self, kind: str) -> None:
+        """One stochastic injection hit (packet_drop, disk_error, ...)."""
+        self.metrics.inc("faults.injected.%s" % kind)
+
     # -- simfs ---------------------------------------------------------------
 
     def disk_op(self, name: str, t: float, nbytes: int, sequential: bool,

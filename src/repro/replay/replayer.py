@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional
 
-from repro.errors import ReplayError
+from repro.errors import ReplayDivergence, ReplayError
 from repro.harness.testbed import TestbedConfig, build_testbed
 from repro.replay.pseudoapp import PseudoApp, RankScript
 from repro.simfs.vfs import O_CREAT, O_RDONLY, O_RDWR
@@ -115,7 +115,27 @@ def replay(
     seed: int = 0,
     honor_sync: bool = True,
 ) -> ReplayResult:
-    """Run the pseudo-application on a fresh testbed."""
+    """Run the pseudo-application on a fresh testbed.
+
+    When ``honor_sync`` is on, the rank scripts must agree on how many
+    synchronization points they recorded: a partial capture (a crashed
+    rank's truncated trace) would otherwise leave the surviving ranks
+    blocked in a barrier the missing rank never reaches.  That case is
+    detected *before* launch and reported as
+    :class:`~repro.errors.ReplayDivergence` — replay reports divergence
+    instead of hanging.
+    """
+    if honor_sync:
+        sync_counts = {
+            r: (
+                sum(1 for op in app.scripts[r].ops if op.kind == "sync")
+                if r in app.scripts
+                else 0
+            )
+            for r in range(app.nprocs)
+        }
+        if len(set(sync_counts.values())) > 1:
+            raise ReplayDivergence(sync_counts)
     tb = build_testbed(config, seed=seed)
     job = mpirun(
         tb.cluster,

@@ -49,6 +49,10 @@ class FaultPlan:
     seed_stream:
         Name of the simulator random stream driving the coin flips —
         deterministic per simulator seed.
+    horizon:
+        Optional simulated-time bound the plan must fit inside: a delay
+        at least this long could stall an op past a bounded run's end,
+        so it is rejected at construction instead of timing out later.
     """
 
     error_rate: float = 0.0
@@ -57,6 +61,7 @@ class FaultPlan:
     ops: FrozenSet[str] = frozenset()
     path_substring: Optional[str] = None
     seed_stream: str = "faults"
+    horizon: Optional[float] = None
 
     def __post_init__(self) -> None:
         for rate in (self.error_rate, self.delay_rate):
@@ -64,6 +69,14 @@ class FaultPlan:
                 raise ValueError("rates must be in [0, 1]")
         if self.delay < 0:
             raise ValueError("delay must be non-negative")
+        if self.horizon is not None:
+            if self.horizon <= 0:
+                raise ValueError("horizon must be positive")
+            if self.delay >= self.horizon:
+                raise ValueError(
+                    "delay (%gs) must be shorter than the horizon (%gs)"
+                    % (self.delay, self.horizon)
+                )
         object.__setattr__(self, "ops", frozenset(self.ops))
 
 
@@ -89,12 +102,22 @@ class FaultInjectingFS(StackableFS):
         return True
 
     def before_op(self, ctx: CallerContext, op: str, args: tuple) -> Generator[Any, Any, None]:
-        """Roll the dice: maybe stall, maybe fail, then pass through."""
+        """Roll the dice: maybe stall, maybe fail, then pass through.
+
+        Draw contract: every eligible operation consumes exactly two RNG
+        values from the plan's stream — the delay coin first, then the
+        error coin — regardless of the configured rates.  (A previous
+        version short-circuited the draw when a rate was 0.0, so turning
+        one fault type off shifted the other's entire coin sequence and
+        broke run-to-run comparisons between plans.)
+        """
         if self._eligible(op, args):
-            if self.plan.delay_rate and self._rng.random() < self.plan.delay_rate:
+            delay_hit = self._rng.random() < self.plan.delay_rate
+            error_hit = self._rng.random() < self.plan.error_rate
+            if delay_hit:
                 self.delays_injected += 1
                 yield self.sim.timeout(self.plan.delay)
-            if self.plan.error_rate and self._rng.random() < self.plan.error_rate:
+            if error_hit:
                 self.errors_injected += 1
                 raise InjectedIOError("injected fault in %s" % op)
         yield self.sim.timeout(0)

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.cluster.cluster import Cluster
-from repro.errors import DeadlockError, MPIError
+from repro.errors import DeadlockError, MPIError, SimTimeoutError
 from repro.simfs.vfs import VFS
 from repro.simmpi.comm import Communicator, MPIRank
 from repro.simos.process import SimProcess
@@ -42,6 +42,9 @@ class JobResult:
     procs: List[SimProcess] = field(repr=False, default_factory=list)
     ranks: List[MPIRank] = field(repr=False, default_factory=list)
     comm: Optional[Communicator] = field(repr=False, default=None)
+    #: The rank bodies' kernel processes, in rank order — the chaos harness
+    #: inspects their completions to classify how a faulted job ended.
+    des_processes: List[Any] = field(repr=False, default_factory=list)
 
     @property
     def elapsed(self) -> float:
@@ -65,6 +68,7 @@ def mpirun(
     teardown: Optional[SetupFn] = None,
     base_pid: int = 10000,
     run: bool = True,
+    horizon: Optional[float] = None,
 ) -> JobResult:
     """Launch ``app`` on ``nprocs`` ranks and (by default) run to completion.
 
@@ -73,6 +77,11 @@ def mpirun(
     ``teardown`` are tracing-framework attach points.  With ``run=False``
     the job is spawned but the caller drives ``cluster.sim.run()`` itself
     (used to co-schedule competing jobs).
+
+    ``horizon`` bounds the run in *simulated* seconds from job start: if
+    ranks are still running when it expires, :class:`SimTimeoutError`
+    names them instead of the drain continuing indefinitely — the retry
+    signal the chaos harness's exponential-backoff policy consumes.
     """
     n = nprocs if nprocs is not None else len(cluster.nodes)
     if n < 1:
@@ -106,6 +115,13 @@ def mpirun(
 
     spawned = [sim.spawn(rank_body(r), name="rank%d" % r) for r in range(n)]
 
+    # With a fault plane installed, register each rank's kernel process so
+    # scheduled node crashes interrupt exactly the ranks placed there.
+    plane = getattr(sim, "fault_plane", None)
+    if plane is not None:
+        for r in range(n):
+            plane.track_rank(procs[r].node.index, spawned[r], r)
+
     result = JobResult(
         results=results,
         start_time=start_time,
@@ -114,6 +130,7 @@ def mpirun(
         procs=procs,
         ranks=ranks,
         comm=comm,
+        des_processes=spawned,
     )
     if not run:
         return result
@@ -122,7 +139,7 @@ def mpirun(
         # Whole-job drains are the simulator's hot loop; run_fast dispatches
         # the identical event history with the per-event backwards-time
         # check dropped after its warm-up window.
-        sim.run_fast()
+        sim.run_fast(until=(start_time + horizon) if horizon is not None else None)
     except DeadlockError:
         # A dead rank leaves peers blocked in collectives/recvs; the root
         # cause is the rank's own exception — surface that, not the
@@ -134,6 +151,10 @@ def mpirun(
     for r, proc in enumerate(spawned):
         if proc.completion.exception is not None:
             raise proc.completion.exception
+    if horizon is not None:
+        pending = [r for r, proc in enumerate(spawned) if proc.alive]
+        if pending:
+            raise SimTimeoutError(horizon, pending)
     result.end_time = max(end_times)
 
     if teardown is not None:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, List, Optional
 
-from repro.errors import BadFileDescriptor, InvalidArgument, SimOSError
+from repro.errors import BadFileDescriptor, InvalidArgument, NodeCrashed, SimOSError
 from repro.obs.tracepoints import STATE as _TELEMETRY
 from repro.simfs.vfs import (
     CallerContext,
@@ -130,6 +130,12 @@ class SimProcess:
     ) -> Generator[Any, Any, Any]:
         trace_result = typed.pop("trace_result", None)
         node = self.node
+        plane = getattr(self.sim, "fault_plane", None)
+        if plane is not None and plane.node_down(node.index):
+            raise NodeCrashed(
+                "node %d (%s) is down: cannot dispatch %s"
+                % (node.index, node.hostname, name)
+            )
         col = _TELEMETRY.collector
         t0_sim = self.sim.now if col is not None else 0.0
         t0_local = node.now_local()

@@ -1,0 +1,22 @@
+"""Shared pytest configuration: hypothesis profiles.
+
+Two profiles, selected with ``--hypothesis-profile`` (built into the
+hypothesis pytest plugin):
+
+* ``dev`` (default) — hypothesis defaults: random exploration, local
+  example database, normal deadlines.  What you want at a keyboard.
+* ``ci`` — fixed derandomized seed and no deadline, so tier-1 CI runs
+  are reproducible across machines and immune to deadline flakiness on
+  slow shared runners.  GitHub Actions passes ``--hypothesis-profile=ci``.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("dev", settings())
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    print_blob=True,
+)
+settings.load_profile("dev")

@@ -58,6 +58,52 @@ class TestWithTelemetry:
         assert "enable telemetry" not in str(err.value)
 
 
+class TestFaultKilledCollective:
+    """A fault-killed rank mid-collective leaves its peers blocked forever;
+    the deadlock dump must name every blocked rank and its wait reason."""
+
+    def _crash_mid_barrier(self):
+        from repro.faults import FaultPlane, FaultSchedule, NodeCrash
+        from repro.harness.figures import paper_testbed
+        from repro.harness.testbed import build_testbed
+        from repro.simmpi.runtime import mpirun
+
+        tb = build_testbed(paper_testbed(seed=0, nprocs=4), seed=0)
+        plane = FaultPlane(
+            FaultSchedule.of(NodeCrash(at=0.05, node=1), name="kill-mid-collective")
+        ).install(tb.cluster, tb.vfs)
+
+        def app(mpi, args):
+            # Rank 1 is still computing when the crash fires at t=0.05;
+            # everyone else is already parked in the barrier.
+            if mpi.rank == 1:
+                yield mpi.sim.timeout(0.2)
+            yield from mpi.barrier()
+
+        job = mpirun(tb.cluster, tb.vfs, app, nprocs=4, run=False)
+        with pytest.raises(DeadlockError) as err:
+            tb.cluster.sim.run_fast()
+        return err.value, job, plane
+
+    def test_every_surviving_rank_named_with_wait_reason(self):
+        err, job, _ = self._crash_mid_barrier()
+        for rank in (0, 2, 3):
+            entry = next(b for b in err.blocked if "rank%d" % rank in b)
+            assert "waiting on" in entry
+            assert "collective:barrier" in entry
+        # The crashed rank is dead, not blocked — it must not be a culprit.
+        assert not any("rank1" in b for b in err.blocked)
+
+    def test_crashed_rank_completion_carries_the_root_cause(self):
+        from repro.errors import NodeCrashed
+
+        err, job, plane = self._crash_mid_barrier()
+        comp = job.des_processes[1].completion
+        assert comp.done
+        assert isinstance(comp.exception, NodeCrashed)
+        assert plane.counters.get("node.crashes") == 1
+
+
 class TestWithoutTelemetry:
     def test_report_hints_at_telemetry(self):
         sim = _deadlocking_sim()

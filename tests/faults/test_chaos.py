@@ -1,0 +1,178 @@
+"""Chaos harness: outcome classification, retries, matrix report, CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    CHAOS_FRAMEWORKS,
+    CHAOS_MATRICES,
+    DiskErrorStorm,
+    FaultSchedule,
+    NodeCrash,
+    build_chaos_specs,
+    render_chaos_report,
+    run_chaos_matrix,
+    run_under_faults,
+)
+from repro.faults.chaos import _attempt_with_retries
+from repro.harness.figures import paper_testbed
+from repro.harness.parallel import execute_spec
+from repro.units import KiB
+from repro.workloads import mpi_io_test
+
+QUICK_ARGS = {"path": "/pfs/x.out", "block_size": 64 * KiB, "nobj": 4}
+
+
+def _run(schedule, horizon=30.0, **kw):
+    params = dict(
+        config=paper_testbed(seed=0, nprocs=2), nprocs=2, seed=0,
+        horizon=horizon,
+    )
+    params.update(kw)
+    return run_under_faults(
+        schedule, None, mpi_io_test, dict(QUICK_ARGS), **params
+    )
+
+
+class TestClassification:
+    def test_no_faults_completes(self):
+        outcome = _run(FaultSchedule())
+        assert outcome.status == "completed"
+        assert outcome.error is None
+        assert outcome.stats.elapsed > 0
+        assert outcome.killed_ranks == []
+        assert outcome.faults["counters"] == {}
+
+    def test_node_crash_classified_with_killed_ranks(self):
+        outcome = _run(FaultSchedule.of(NodeCrash(at=0.05, node=1)))
+        assert outcome.status == "node-crash"
+        assert "crashed at t=0.05" in outcome.error
+        assert outcome.killed_ranks == [1]
+        assert outcome.faults["counters"]["node.crashes"] == 1
+
+    def test_eio_storm_classified_as_io_error(self):
+        sched = FaultSchedule.of(
+            DiskErrorStorm(at=0.0, duration=10.0, error_rate=1.0, mount="/pfs")
+        )
+        outcome = _run(sched)
+        assert outcome.status == "io-error"
+        assert "InjectedIOError" in outcome.error
+
+    def test_too_small_horizon_times_out(self):
+        outcome = _run(FaultSchedule(), horizon=0.001)
+        assert outcome.status == "timeout"
+        assert outcome.pending_ranks  # someone was still running
+        assert "0.001" in outcome.error
+
+    def test_late_event_rejected_against_horizon(self):
+        with pytest.raises(FaultError, match="never fire"):
+            _run(FaultSchedule.of(NodeCrash(at=50.0, node=0)), horizon=1.0)
+
+
+class TestRetryPolicy:
+    def test_timeout_retries_with_doubled_horizon(self):
+        outcome, attempts = _attempt_with_retries(
+            FaultSchedule(), None, mpi_io_test, dict(QUICK_ARGS),
+            paper_testbed(seed=0, nprocs=2), 2, 0,
+            horizon=0.02, retries=5,
+        )
+        assert outcome.status == "completed"
+        assert attempts > 1  # 0.02s is not enough; a doubled budget was
+
+    def test_deterministic_failures_do_not_retry(self):
+        outcome, attempts = _attempt_with_retries(
+            FaultSchedule.of(NodeCrash(at=0.05, node=1)),
+            None, mpi_io_test, dict(QUICK_ARGS),
+            paper_testbed(seed=0, nprocs=2), 2, 0,
+            horizon=30.0, retries=5,
+        )
+        assert outcome.status == "node-crash"
+        assert attempts == 1
+
+    def test_retry_budget_exhausts_to_timeout(self):
+        outcome, attempts = _attempt_with_retries(
+            FaultSchedule(), None, mpi_io_test, dict(QUICK_ARGS),
+            paper_testbed(seed=0, nprocs=2), 2, 0,
+            horizon=1e-5, retries=1,
+        )
+        assert outcome.status == "timeout"
+        assert attempts == 2
+
+
+class TestExecuteFaultSpec:
+    def test_spec_with_faults_routes_to_chaos_and_annotates(self):
+        specs = build_chaos_specs("smoke", frameworks=("lanl-trace",))
+        by_name = {s.faults.name: s for s in specs}
+        point = execute_spec(by_name["node-crash"])
+        assert point.error is not None
+        assert point.error.startswith("untraced: node-crash")
+        assert point.chaos["scenario"] == "node-crash"
+        assert point.chaos["untraced"]["killed_ranks"] == [1]
+        # The traced leg still ran: the partial capture is the artifact.
+        assert point.chaos["traced"]["status"] == "node-crash"
+        assert point.chaos["traced"]["bundle_metadata"] is not None
+
+    def test_baseline_spec_completes_without_error(self):
+        specs = build_chaos_specs("smoke", frameworks=("ptrace",))
+        point = execute_spec(specs[0])
+        assert point.error is None
+        assert point.chaos["scenario"] == "baseline"
+        assert point.chaos["untraced"]["status"] == "completed"
+        assert point.attempts == 1
+
+
+class TestMatrix:
+    def test_unknown_matrix_named_in_error(self):
+        with pytest.raises(FaultError, match="unknown chaos matrix"):
+            build_chaos_specs("no-such-matrix")
+
+    def test_specs_cross_frameworks_with_scenarios(self):
+        specs = build_chaos_specs("smoke")
+        assert len(specs) == len(CHAOS_FRAMEWORKS) * len(CHAOS_MATRICES["smoke"])
+        # Framework-major order, scenarios in declaration order inside.
+        assert specs[0].framework.name == CHAOS_FRAMEWORKS[0]
+        names = [s.faults.name or "baseline" for s in specs]
+        per_fw = [sc.schedule.name or "baseline" for sc in CHAOS_MATRICES["smoke"]]
+        assert names == per_fw * len(CHAOS_FRAMEWORKS)
+
+    def test_smoke_matrix_report_for_one_framework(self):
+        report = run_chaos_matrix("smoke", frameworks=("ptrace",))
+        assert report["schema"] == "repro/chaos/v1"
+        rows = report["rows"]
+        assert [r["scenario"] for r in rows] == [
+            "baseline", "node-crash", "partition", "disk-storm", "eio-storm"
+        ]
+        by_scenario = {r["scenario"]: r for r in rows}
+        assert by_scenario["baseline"]["survived"]
+        assert by_scenario["baseline"]["overhead_delta"] == 0.0
+        assert by_scenario["partition"]["survived"]
+        assert by_scenario["partition"]["fault_counters"]["net.partitions"] == 1
+        assert not by_scenario["node-crash"]["survived"]
+        assert "node-crash" in by_scenario["node-crash"]["error"]
+        summary = report["summary"]
+        assert summary["points"] == 5
+        assert summary["survived"] + summary["failed_annotated"] == 5
+        # Render covers both completed and FAILED rows.
+        text = render_chaos_report(report)
+        assert "Chaos matrix 'smoke'" in text
+        assert "FAILED:" in text
+        assert text.count("\n") >= 8
+
+
+class TestChaosCLI:
+    def test_chaos_command_writes_report(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "chaos.json"
+        rc = main([
+            "chaos", "--matrix", "smoke", "--frameworks", "ptrace",
+            "--no-cache", "--report-out", str(out),
+        ])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "Chaos matrix 'smoke'" in printed
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro/chaos/v1"
+        assert report["frameworks"] == ["ptrace"]

@@ -7,13 +7,28 @@ simulated history they observe.
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.harness.parallel import build_sweep_specs, execute_spec, run_sweep
+from repro.faults import (
+    DiskSlowdown,
+    FaultSchedule,
+    NetworkPartition,
+    NodeCrash,
+    run_under_faults,
+)
+from repro.harness.figures import paper_testbed
+from repro.harness.parallel import (
+    RunSpec,
+    build_sweep_specs,
+    execute_spec,
+    run_sweep,
+)
 from repro.harness.runcache import RunCache, spec_key
 from repro.obs.perfetto import validate_chrome_trace
 from repro.obs.metrics import canonical_json
 from repro.units import KiB, MiB
-from repro.workloads import AccessPattern
+from repro.workloads import AccessPattern, mpi_io_test
 
 QUICK = dict(block_sizes=[64 * KiB, 256 * KiB], total_bytes_per_rank=1 * MiB, nprocs=4)
 
@@ -103,3 +118,109 @@ class TestCacheKeying:
         plain = _quick_specs()[0]
         cache.put(plain, execute_spec(plain))
         assert cache.get(_quick_specs(telemetry=True)[0]) is None
+
+
+# -- fault-plane determinism -------------------------------------------------
+
+_CHAOS_ARGS = {"path": "/pfs/chaos.out", "block_size": 64 * KiB, "nobj": 4}
+
+
+def _fault_spec(schedule):
+    return RunSpec.create(
+        "lanl-trace",
+        "mpi_io_test",
+        _CHAOS_ARGS,
+        config=paper_testbed(seed=0, nprocs=2),
+        nprocs=2,
+        seed=0,
+        faults=schedule,
+        sim_timeout=30.0,
+        retries=1,
+    )
+
+
+def _chaos_bytes(result):
+    return canonical_json([[p.chaos, p.error, p.attempts] for p in result.points])
+
+
+#: Schedules whose events all land inside the ~0.13-0.4s run window.
+_schedules = st.lists(
+    st.one_of(
+        st.builds(
+            NodeCrash,
+            at=st.floats(0.01, 0.1, allow_nan=False),
+            node=st.integers(0, 1),
+        ),
+        st.builds(
+            NetworkPartition,
+            at=st.floats(0.01, 0.1, allow_nan=False),
+            nodes=st.sets(st.integers(0, 1), min_size=1, max_size=1).map(tuple),
+            heal_after=st.floats(0.005, 0.05, allow_nan=False),
+        ),
+        st.builds(
+            DiskSlowdown,
+            at=st.floats(0.0, 0.1, allow_nan=False),
+            duration=st.floats(0.01, 0.3, allow_nan=False),
+            extra_latency=st.floats(1e-4, 5e-3, allow_nan=False),
+        ),
+    ),
+    max_size=2,
+).map(lambda evs: FaultSchedule.of(*evs, name="prop"))
+
+
+class TestFaultDeterminism:
+    """Identical FaultSchedule + seed => byte-identical fault histories."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(schedule=_schedules)
+    def test_fault_event_sequence_is_reproducible(self, schedule):
+        outcomes = [
+            run_under_faults(
+                schedule,
+                None,
+                mpi_io_test,
+                dict(_CHAOS_ARGS),
+                config=paper_testbed(seed=0, nprocs=2),
+                nprocs=2,
+                seed=0,
+                horizon=30.0,
+            )
+            for _ in range(2)
+        ]
+        a, b = outcomes
+        assert a.status == b.status
+        assert canonical_json(a.faults) == canonical_json(b.faults)
+        assert a.stats == b.stats
+        assert a.killed_ranks == b.killed_ranks
+
+    def test_chaos_points_identical_across_jobs_and_cache(self, tmp_path):
+        schedule = FaultSchedule.of(
+            NodeCrash(at=0.05, node=1),
+            DiskSlowdown(at=0.0, duration=0.3, extra_latency=1e-3),
+            name="determinism",
+        )
+        specs = [_fault_spec(schedule)]
+        serial = run_sweep(specs, jobs=1)
+        fanned = run_sweep(specs * 2, jobs=2)  # >1 pending point => real pool
+        cache = RunCache(tmp_path / "cache")
+        cold = run_sweep(specs, jobs=1, cache=cache)
+        warm = run_sweep(specs, jobs=1, cache=cache)
+        assert all(p.cached for p in warm.points)
+        reference = _chaos_bytes(serial)
+        assert canonical_json([[p.chaos, p.error, p.attempts] for p in fanned.points[:1]]) == reference
+        assert _chaos_bytes(cold) == reference
+        assert _chaos_bytes(warm) == reference
+
+    def test_fault_fields_widen_the_cache_key(self):
+        schedule = FaultSchedule.of(NodeCrash(at=0.05, node=1), name="k")
+        plain = RunSpec.create(
+            "lanl-trace", "mpi_io_test", _CHAOS_ARGS,
+            config=paper_testbed(seed=0, nprocs=2), nprocs=2, seed=0,
+        )
+        faulted = _fault_spec(schedule)
+        assert spec_key(plain) != spec_key(faulted)
+        # Deterministic: same schedule -> same key.
+        assert spec_key(faulted) == spec_key(_fault_spec(schedule))
+        # Different schedule -> different key.
+        other = FaultSchedule.of(NodeCrash(at=0.06, node=1), name="k")
+        assert spec_key(faulted) != spec_key(_fault_spec(other))

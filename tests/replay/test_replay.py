@@ -168,6 +168,55 @@ class TestReplayEngine:
             replay(app)
 
 
+class TestDivergenceDetection:
+    """Partial captures must raise ReplayDivergence up front, never hang."""
+
+    def test_mismatched_sync_counts_raise_before_launch(self):
+        from repro.errors import ReplayDivergence
+
+        app = PseudoApp(
+            scripts={
+                0: RankScript(0, [ReplayOp("sync", 0.0), ReplayOp("sync", 0.0)]),
+                1: RankScript(1, [ReplayOp("sync", 0.0)]),
+            }
+        )
+        with pytest.raises(ReplayDivergence) as err:
+            replay(app, honor_sync=True)
+        assert err.value.sync_counts == {0: 2, 1: 1}
+        assert "rank 0: 2" in str(err.value)
+
+    def test_divergent_app_still_replays_without_sync(self):
+        app = PseudoApp(
+            scripts={
+                0: RankScript(0, [ReplayOp("sync", 0.0), ReplayOp("sync", 0.0)]),
+                1: RankScript(1, [ReplayOp("sync", 0.0)]),
+            }
+        )
+        replay(app, honor_sync=False)  # free-running replay is fine
+
+    def test_crash_truncated_bundle_diverges_not_hangs(self):
+        """End-to-end: a fault-plane node crash truncates one rank's
+        capture; replaying the bundle reports divergence immediately."""
+        from repro.errors import ReplayDivergence
+        from repro.faults import FaultSchedule, NodeCrash
+        from repro.faults.chaos import run_traced_with_faults
+
+        outcome = run_traced_with_faults(
+            FaultSchedule.of(NodeCrash(at=0.03, node=1), name="truncate"),
+            "lanl-trace",
+            "mpi_io_test",
+            {"path": "/pfs/diverge.out", "block_size": 64 * KiB, "nobj": 8},
+            config=paper_testbed(seed=0, nprocs=2),
+            nprocs=2,
+            seed=0,
+            horizon=120.0,
+        )
+        assert outcome.status == "node-crash"
+        app = build_pseudoapp(outcome.bundle)
+        with pytest.raises(ReplayDivergence):
+            replay(app, honor_sync=True)
+
+
 class TestFidelityMetrics:
     def test_end_to_end_error(self):
         f = compare_end_to_end(10.0, 10.6)

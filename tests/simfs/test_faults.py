@@ -35,6 +35,82 @@ class TestPlanValidation:
         with pytest.raises(ValueError):
             FaultPlan(delay=-1)
 
+    def test_horizon_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultPlan(horizon=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan(horizon=-5.0)
+
+    def test_delay_must_fit_inside_horizon(self):
+        with pytest.raises(ValueError, match="shorter than the horizon"):
+            FaultPlan(delay=2.0, horizon=1.0)
+        with pytest.raises(ValueError, match="shorter than the horizon"):
+            FaultPlan(delay=1.0, horizon=1.0)  # equal is also a stall risk
+        # Valid combinations construct fine.
+        assert FaultPlan(delay=0.5, horizon=1.0).horizon == 1.0
+        assert FaultPlan(delay=0.5).horizon is None
+
+
+class TestDrawOrder:
+    """Regression: every eligible op draws exactly two coins, delay first.
+
+    The old ``before_op`` short-circuited draws when a rate was 0.0, so
+    switching one fault type off shifted the *other* coin sequence and
+    broke cross-plan comparisons.  These tests pin the contract.
+    """
+
+    def _error_sequence(self, plan, n=40, seed=11):
+        sim, fs = make(plan, seed=seed)
+        hits = []
+
+        def body():
+            ino = yield from fs.op_open(ctx(), "keep", O_WRONLY | O_CREAT)
+            for i in range(n):
+                try:
+                    yield from fs.op_write(ctx(), ino, i * 10, 10, stream="s")
+                    hits.append(False)
+                except InjectedIOError:
+                    hits.append(True)
+
+        sim.run_process(body())
+        return hits
+
+    def test_error_sequence_unchanged_by_delay_rate(self):
+        """Turning delays on/off must not reshuffle which ops error."""
+        plain = self._error_sequence(FaultPlan(error_rate=0.3, ops={"write"}))
+        delayed = self._error_sequence(
+            FaultPlan(error_rate=0.3, delay_rate=0.2, delay=1e-4, ops={"write"})
+        )
+        assert plain == delayed
+        assert any(plain) and not all(plain)
+
+    def test_two_draws_per_eligible_op(self):
+        sim, fs = make(FaultPlan(ops={"write"}))
+        before = [fs._rng.random() for _ in range(4)]
+        sim2, fs2 = make(FaultPlan(ops={"write"}))
+
+        def body():
+            ino = yield from fs2.op_open(ctx(), "f", O_WRONLY | O_CREAT)
+            yield from fs2.op_write(ctx(), ino, 0, 10, stream="s")
+            return [fs2._rng.random() for _ in range(2)]
+
+        # After one eligible op, the stream must sit exactly two draws in:
+        # the next values are draws 3 and 4 of the untouched stream.
+        assert sim2.run_process(body()) == before[2:4]
+
+    def test_ineligible_ops_draw_nothing(self):
+        sim, fs = make(FaultPlan(error_rate=1.0, ops={"unlink"}))
+        probe_sim, probe_fs = make(FaultPlan(error_rate=1.0, ops={"unlink"}))
+        expected = probe_fs._rng.random()
+
+        def body():
+            ino = yield from fs.op_open(ctx(), "f", O_WRONLY | O_CREAT)
+            yield from fs.op_write(ctx(), ino, 0, 10, stream="s")
+            return fs._rng.random()
+
+        # open/write are ineligible, so the stream is still at draw 1.
+        assert sim.run_process(body()) == expected
+
 
 class TestInjection:
     def test_zero_rates_transparent(self):

@@ -114,6 +114,60 @@ class TestFramingFuzz:
             pass
 
 
+class TestCrashTruncationFuzz:
+    """Fault-plane-generated corpus: a *real* crash-truncated capture.
+
+    :func:`~repro.faults.corrupt.crashed_rank_blob` runs a traced job
+    under a scheduled node crash and encodes the crashed rank's surviving
+    (tail-truncated) capture; the corpus then applies crash-shaped
+    corruptions (torn writes, unsynced-tail bit flips).  The decoder
+    contract is the usual one: decode successfully or raise a clean
+    :class:`~repro.errors.TraceError` — never hang, never index-error.
+    """
+
+    @pytest.fixture(scope="class")
+    def crashed_blob(self):
+        from repro.faults.corrupt import crashed_rank_blob
+
+        return crashed_rank_blob(crash_node=1, crash_at=0.03, nprocs=2, seed=0)
+
+    def test_crashed_capture_itself_decodes(self, crashed_blob):
+        tf = decode_trace_file(crashed_blob)
+        assert len(tf.events) > 0  # a partial capture survived the crash
+
+    def test_corpus_is_deterministic(self, crashed_blob):
+        from repro.faults.corrupt import crash_truncation_corpus
+
+        a = crash_truncation_corpus(crashed_blob, seed=7, n=16)
+        b = crash_truncation_corpus(crashed_blob, seed=7, n=16)
+        assert a == b
+        assert crash_truncation_corpus(crashed_blob, seed=8, n=16) != a
+
+    def test_corpus_decodes_cleanly_or_raises_trace_errors(self, crashed_blob):
+        from repro.faults.corrupt import crash_truncation_corpus
+
+        for variant in crash_truncation_corpus(crashed_blob, seed=0, n=48):
+            try:
+                decode_trace_file(variant)
+            except TraceError:
+                pass  # the only acceptable failure mode
+
+    @given(cut=st.integers(1, 10_000), flip=st.integers(1, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_torn_and_flipped_variants_never_crash(self, crashed_blob, cut, flip):
+        from repro.faults.corrupt import bit_flip, torn_write
+
+        torn = torn_write(crashed_blob, cut % len(crashed_blob))
+        blobs = [torn]
+        if torn:
+            blobs.append(bit_flip(torn, cut % len(torn), flip))
+        for blob in blobs:
+            try:
+                decode_trace_file(blob)
+            except TraceError:
+                pass
+
+
 class TestTextFuzz:
     @given(text=st.text(max_size=300))
     @settings(max_examples=120, deadline=None)
