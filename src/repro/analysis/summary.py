@@ -13,12 +13,12 @@ Reproduces the third LANL-Trace output of the paper's Figure 1::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.trace.events import TraceEvent
 from repro.trace.records import TraceBundle, TraceFile
 
-__all__ = ["CallSummary", "summarize_calls"]
+__all__ = ["CallSummary", "summarize_calls", "summarize_store"]
 
 
 @dataclass(frozen=True)
@@ -77,5 +77,33 @@ def summarize_calls(source: TraceBundle | TraceFile | Iterable[TraceEvent]) -> C
         {
             name: CallSummaryRow(name=name, n_calls=counts[name], total_time=times[name])
             for name in counts
+        }
+    )
+
+
+def summarize_store(
+    store_root: str, query: Optional[Any] = None, jobs: int = 1
+) -> CallSummary:
+    """Build a :class:`CallSummary` from a TraceBank archive's ``ops`` query.
+
+    The store-backed sibling of :func:`summarize_calls`: the same Figure-1
+    rows, but computed by the archive's pushdown-pruned parallel scan
+    instead of decoding whole bundles in-process.  ``query`` (a
+    :class:`repro.store.Query`) restricts which runs/events count; its
+    aggregate choice is overridden to ``ops``.
+    """
+    from dataclasses import replace
+
+    from repro.store.bank import TraceBank
+    from repro.store.query import Query, run_query
+
+    q = replace(query, agg="ops") if query is not None else Query(agg="ops")
+    report = run_query(TraceBank(store_root, create=False), q, jobs=jobs)
+    return CallSummary(
+        {
+            name: CallSummaryRow(
+                name=name, n_calls=cell["calls"], total_time=cell["total_time"]
+            )
+            for name, cell in report["result"]["ops"].items()
         }
     )

@@ -40,6 +40,13 @@ Commands:
     (direction inferred from file extensions).
 ``anonymize IN OUT [--mode randomize|encrypt] [--key HEX] [--fields ...]``
     Anonymize a trace file for release.
+``store ingest|ls|query|dfg|verify|gc``
+    The TraceBank trace archive: ingest trace files or whole sweeps
+    (``--store`` on ``figure``/``figures``/``chaos`` auto-archives every
+    traced bundle), list runs, run filtered/aggregated queries and
+    directly-follows graphs over the archive (``--jobs`` fans shard scans
+    over processes with byte-identical output), verify end-to-end
+    integrity, and garbage-collect unreferenced segments.
 """
 
 from __future__ import annotations
@@ -215,6 +222,15 @@ def _write_telemetry_artifacts(outdir: str, entries) -> List[Path]:
     return written
 
 
+def _report_archived(points) -> None:
+    """Print the post-sweep archive line for points that carried run ids."""
+    run_ids = sorted(
+        {p.store_run_id for p in points if getattr(p, "store_run_id", None)}
+    )
+    if run_ids:
+        print("archived %d run(s) into the trace store" % len(run_ids))
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.harness.figures import figure_series
     from repro.harness.report import render_figure
@@ -229,8 +245,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         cache=_make_cache(args),
         telemetry=args.telemetry,
         progress=_make_progress(args),
+        store=args.store,
     )
     print(render_figure(series), end="")
+    _report_archived(series.measurements)
     if args.telemetry:
         written = _write_telemetry_artifacts(
             args.telemetry_out,
@@ -260,6 +278,10 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         cache=cache,
         telemetry=args.telemetry,
         progress=_make_progress(args),
+        store=args.store,
+    )
+    _report_archived(
+        m for figno in sorted(sweep.series) for m in sweep.series[figno].measurements
     )
     for figno in sorted(sweep.series):
         print(render_figure(sweep.series[figno]), end="")
@@ -327,14 +349,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=_make_cache(args),
         progress=_make_progress(args),
+        store=args.store,
     )
     print(render_chaos_report(report), end="")
+    archived = sorted(
+        {r["store_run_id"] for r in report["rows"] if r.get("store_run_id")}
+    )
+    if archived:
+        print("archived %d run(s) into the trace store" % len(archived))
     if args.report_out:
         from repro.obs.metrics import canonical_json
 
         Path(args.report_out).write_text(canonical_json(report) + "\n")
         print("wrote %s" % args.report_out)
     return 0
+
+
+def _is_store_dir(path: Path) -> bool:
+    """True when ``path`` is a TraceBank archive root (has STORE.json)."""
+    return path.is_dir() and (path / "STORE.json").is_file()
 
 
 def _cmd_observe(args: argparse.Namespace) -> int:
@@ -344,7 +377,25 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     from repro.obs.perfetto import validate_chrome_trace
     from repro.obs.report import render_payload_summary
 
-    obj = json.loads(Path(args.path).read_text("utf-8"))
+    path = Path(args.path)
+    if _is_store_dir(path):
+        from repro.store import TraceBank, render_store_summary
+
+        bank = TraceBank(path, create=False)
+        print(render_store_summary(bank.stats()), end="")
+        for m in bank.manifests():
+            print(
+                "  %s  %-6s %-12s %4d seg  %6d events"
+                % (
+                    m.run_id[:12],
+                    str(m.meta.get("kind", "?")),
+                    str(m.meta.get("framework", "?")),
+                    len(m.segments),
+                    m.n_events,
+                )
+            )
+        return 0
+    obj = json.loads(path.read_text("utf-8"))
     # Accept all three artifact shapes: a combined {untraced, traced} file,
     # a single payload, or a bare Chrome trace (validate-only).
     if isinstance(obj, dict) and obj.get("schema") == "repro/telemetry/v1":
@@ -374,12 +425,17 @@ def _cmd_observe(args: argparse.Namespace) -> int:
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
-    from repro.analysis.summary import summarize_calls
+    from repro.analysis.summary import summarize_calls, summarize_store
 
-    tf = _load_trace(Path(args.trace))
-    summary = summarize_calls(tf.events)
-    print("# %d events from %s (pid %d, rank %s)"
-          % (len(tf), tf.hostname or "?", tf.pid, tf.rank))
+    path = Path(args.trace)
+    if _is_store_dir(path):
+        summary = summarize_store(str(path), jobs=args.jobs)
+        print("# store-backed summary of %s (%d functions)" % (path, len(summary)))
+    else:
+        tf = _load_trace(path)
+        summary = summarize_calls(tf.events)
+        print("# %d events from %s (pid %d, rank %s)"
+              % (len(tf), tf.hostname or "?", tf.pid, tf.rank))
     print("%-28s %15s %25s" % ("Function Name", "Number of Calls", "Total time (s)"))
     for row in summary.rows():
         print("%-28s %15d %25.6f" % (row.name, row.n_calls, row.total_time))
@@ -408,6 +464,159 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
     _store_trace(tf.map(anonymizer), Path(args.output))
     print("anonymized %d events (%s: %s) -> %s"
           % (len(tf), args.mode, ", ".join(sorted(fields)), args.output))
+    return 0
+
+
+# -- store commands ----------------------------------------------------------
+
+
+def _store_query_from_args(args: argparse.Namespace):
+    from repro.errors import StoreQueryError
+    from repro.store import Query
+
+    where = {}
+    for item in args.where or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise StoreQueryError("--where expects key=value, got %r" % item)
+        where[key] = value
+    return Query.create(
+        agg=getattr(args, "agg", "ops"),
+        ranks=args.ranks,
+        names=args.ops,
+        layers=args.layers,
+        path_glob=args.path_glob,
+        since=args.since,
+        until=args.until,
+        where=where,
+        runs=args.runs,
+        window=getattr(args, "window", 0.05),
+        limit=getattr(args, "limit", None),
+    )
+
+
+def _cmd_store_ingest(args: argparse.Namespace) -> int:
+    from repro.store import TraceBank
+    from repro.trace.records import TraceBundle
+
+    bank = TraceBank(args.store)
+    bundle = TraceBundle()
+    for i, name in enumerate(args.traces):
+        tf = _load_trace(Path(name))
+        rank = tf.rank if tf.rank is not None else i
+        bundle.add_file(int(rank), tf)
+        if tf.framework:
+            bundle.metadata.setdefault("framework", tf.framework)
+    meta = {"kind": "manual"}
+    for item in args.meta or []:
+        key, sep, value = item.partition("=")
+        if sep and key:
+            meta[key] = value
+    result = bank.ingest_bundle(bundle, meta=meta)
+    print(
+        "ingested run %s: %d segment(s) (%d new, %d deduped), %d event(s)"
+        % (
+            result.run_id[:12],
+            result.segments,
+            result.new_segments,
+            result.deduped_segments,
+            result.events,
+        )
+    )
+    return 0
+
+
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    from repro.store import TraceBank, render_store_summary
+
+    bank = TraceBank(args.store, create=False)
+    print(render_store_summary(bank.stats()), end="")
+    for m in bank.manifests():
+        print(
+            "  %s  %-6s %-12s %4d seg  %6d events"
+            % (
+                m.run_id[:12],
+                str(m.meta.get("kind", "?")),
+                str(m.meta.get("framework", "?")),
+                len(m.segments),
+                m.n_events,
+            )
+        )
+    return 0
+
+
+def _cmd_store_query(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import canonical_json
+    from repro.store import TraceBank, run_query
+
+    bank = TraceBank(args.store, create=False)
+    report = run_query(bank, _store_query_from_args(args), jobs=args.jobs)
+    if args.json or args.agg != "ops":
+        print(canonical_json(report))
+        return 0
+    scan = report["scan"]
+    print(
+        "# %d run(s), %d/%d segment(s) scanned (%d pruned), %d event(s)"
+        % (
+            scan["runs_selected"],
+            scan["segments_scanned"],
+            scan["segments_total"],
+            scan["segments_pruned"],
+            scan["events_matched"],
+        )
+    )
+    print("%-28s %15s %25s" % ("Function Name", "Number of Calls", "Total time (s)"))
+    for name, cell in report["result"]["ops"].items():
+        print("%-28s %15d %25.6f" % (name, cell["calls"], cell["total_time"]))
+    return 0
+
+
+def _cmd_store_dfg(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import canonical_json
+    from repro.store import TraceBank, build_dfg, render_dfg_dot, render_dfg_text
+
+    bank = TraceBank(args.store, create=False)
+    args.agg = "ops"  # DFG ignores the aggregate; reuse the shared filters
+    report = build_dfg(bank, _store_query_from_args(args), jobs=args.jobs)
+    if args.json:
+        print(canonical_json(report))
+    elif args.dot:
+        print(render_dfg_dot(report), end="")
+    else:
+        print(render_dfg_text(report), end="")
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    from repro.store import TraceBank
+
+    bank = TraceBank(args.store, create=False)
+    report = bank.verify(jobs=args.jobs)
+    print(
+        "verified %d run(s), %d segment(s): %s"
+        % (report["runs"], report["segments_checked"],
+           "OK" if report["ok"] else "CORRUPT")
+    )
+    for err in report["errors"]:
+        sha = err["sha256"][:12] if err["sha256"] else "-"
+        print("  %s %s: %s" % (str(err["run_id"])[:12], sha, err["error"]))
+    if report["orphan_segments"]:
+        print("  %d orphan segment(s) (not an error; 'store gc' reclaims them)"
+              % len(report["orphan_segments"]))
+    return 0 if report["ok"] else 1
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    from repro.store import TraceBank
+
+    bank = TraceBank(args.store, create=False)
+    report = bank.gc(dry_run=args.dry_run)
+    verb = "would remove" if report["dry_run"] else "removed"
+    print(
+        "%s %d unreferenced segment(s), %d byte(s); %d referenced segment(s) kept"
+        % (verb, len(report["removed_segments"]), report["bytes_freed"],
+           report["kept_segments"])
+    )
     return 0
 
 
@@ -481,6 +690,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="force live 'N/M points, ETA' progress on stderr "
             "(automatic when stderr is a tty)",
         )
+        p.add_argument(
+            "--store",
+            nargs="?",
+            const=".repro-store",
+            default=None,
+            metavar="DIR",
+            help="archive every traced bundle into a TraceBank at DIR "
+            "(default .repro-store when the flag is given bare)",
+        )
 
     p = sub.add_parser("figure", help="regenerate Figure 2, 3 or 4")
     p.add_argument("number", type=int, choices=(2, 3, 4))
@@ -535,8 +753,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=_cmd_observe)
 
-    p = sub.add_parser("summarize", help="call summary of a trace file")
-    p.add_argument("trace")
+    p = sub.add_parser(
+        "summarize", help="call summary of a trace file or trace-store dir"
+    )
+    p.add_argument("trace", help="trace file, or a TraceBank directory")
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parallel shard scans for store-backed summaries (default 1)",
+    )
     p.set_defaults(fn=_cmd_summarize)
 
     p = sub.add_parser("convert", help="convert text <-> binary trace formats")
@@ -553,6 +777,88 @@ def build_parser() -> argparse.ArgumentParser:
         "--fields", nargs="*", choices=sorted(ANONYMIZABLE_FIELDS), default=None
     )
     p.set_defaults(fn=_cmd_anonymize)
+
+    p = sub.add_parser(
+        "store", help="the TraceBank trace archive (ingest/ls/query/dfg/verify/gc)"
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    def add_store_root(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--store",
+            default=".repro-store",
+            metavar="DIR",
+            help="archive directory (default .repro-store)",
+        )
+
+    def add_store_filters(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--ranks", nargs="*", type=int, default=None, metavar="R",
+                        help="only these segment ranks")
+        sp.add_argument("--ops", nargs="*", default=None, metavar="NAME",
+                        help="only these function names")
+        sp.add_argument("--layers", nargs="*", default=None, metavar="LAYER",
+                        help="only these capture layers (syscall libcall vfs net)")
+        sp.add_argument("--path-glob", default=None, metavar="GLOB",
+                        help="only events whose path matches this fnmatch glob")
+        sp.add_argument("--since", type=float, default=None, metavar="T",
+                        help="only events starting at or after T (sim seconds)")
+        sp.add_argument("--until", type=float, default=None, metavar="T",
+                        help="only events starting before T (sim seconds)")
+        sp.add_argument("--where", nargs="*", default=None, metavar="K=V",
+                        help="only runs whose manifest metadata matches "
+                        "(dotted keys, string compare)")
+        sp.add_argument("--runs", nargs="*", default=None, metavar="PREFIX",
+                        help="only runs whose id starts with one of these")
+        sp.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallel shard scans (default 1; output is "
+                        "byte-identical for any N)")
+
+    sp = store_sub.add_parser("ingest", help="archive trace file(s) as one run")
+    add_store_root(sp)
+    sp.add_argument("traces", nargs="+", help="trace files (text or binary)")
+    sp.add_argument("--meta", nargs="*", default=None, metavar="K=V",
+                    help="extra run metadata (queryable via --where)")
+    sp.set_defaults(fn=_cmd_store_ingest)
+
+    sp = store_sub.add_parser("ls", help="list archived runs + archive stats")
+    add_store_root(sp)
+    sp.set_defaults(fn=_cmd_store_ls)
+
+    sp = store_sub.add_parser("query", help="filtered aggregate over the archive")
+    add_store_root(sp)
+    add_store_filters(sp)
+    sp.add_argument("--agg", choices=("events", "ops", "bytes", "bandwidth"),
+                    default="ops", help="aggregate to compute (default ops)")
+    sp.add_argument("--window", type=float, default=0.05, metavar="SEC",
+                    help="bandwidth bucket width in sim seconds (default 0.05)")
+    sp.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="truncate the events aggregate after N rows")
+    sp.add_argument("--json", action="store_true",
+                    help="print the canonical-JSON report (default for "
+                    "non-ops aggregates)")
+    sp.set_defaults(fn=_cmd_store_query)
+
+    sp = store_sub.add_parser(
+        "dfg", help="directly-follows graph over archived events"
+    )
+    add_store_root(sp)
+    add_store_filters(sp)
+    sp.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    sp.add_argument("--json", action="store_true",
+                    help="print the canonical-JSON report")
+    sp.set_defaults(fn=_cmd_store_dfg)
+
+    sp = store_sub.add_parser("verify", help="end-to-end archive integrity check")
+    add_store_root(sp)
+    sp.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="parallel segment checks (default 1)")
+    sp.set_defaults(fn=_cmd_store_verify)
+
+    sp = store_sub.add_parser("gc", help="remove unreferenced segment files")
+    add_store_root(sp)
+    sp.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed without deleting")
+    sp.set_defaults(fn=_cmd_store_gc)
 
     return parser
 

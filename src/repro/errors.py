@@ -232,6 +232,30 @@ class AnonymizationError(TraceError):
 
 
 # ---------------------------------------------------------------------------
+# Trace archive (TraceBank)
+# ---------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """Base class for trace-archive (:mod:`repro.store`) errors."""
+
+
+class StoreNotFound(StoreError):
+    """The directory is not a TraceBank archive (no ``STORE.json`` marker)."""
+
+
+class StoreCorruptionError(StoreError):
+    """An archive invariant failed: bad segment checksum, dangling manifest
+    reference, or a segment whose recomputed summary disagrees with its
+    manifest entry.  ``repro store verify`` reports these without raising;
+    direct segment reads raise."""
+
+
+class StoreQueryError(StoreError):
+    """A query/DFG request was malformed (unknown aggregate, bad filter)."""
+
+
+# ---------------------------------------------------------------------------
 # Telemetry / observability
 # ---------------------------------------------------------------------------
 

@@ -393,6 +393,17 @@ def execute_fault_spec(spec: RunSpec) -> PointResult:
             "bundle_metadata": _bundle_metadata(traced.bundle),
         },
     }
+    from repro.harness.parallel import ingest_spec_bundle
+
+    run_id = ingest_spec_bundle(
+        spec,
+        traced.bundle,
+        extra={
+            "kind": "chaos",
+            "scenario": schedule.name or "baseline",
+            "status": traced.status,
+        },
+    )
     return PointResult(
         params=spec.workload_args,
         untraced=untraced.stats,
@@ -403,6 +414,7 @@ def execute_fault_spec(spec: RunSpec) -> PointResult:
         # JSON round trip so the payload compares equal before and after a
         # run-cache round trip (the telemetry byte-identity idiom).
         chaos=json.loads(canonical_json(chaos)),
+        store_run_id=run_id,
     )
 
 
@@ -413,8 +425,14 @@ def build_chaos_specs(
     matrix: str = "smoke",
     frameworks: Sequence[str] = CHAOS_FRAMEWORKS,
     seed: int = 0,
+    store: Optional[str] = None,
 ) -> List[RunSpec]:
-    """One spec per (framework, scenario), framework-major order."""
+    """One spec per (framework, scenario), framework-major order.
+
+    ``store`` makes each scenario archive its traced (possibly partial)
+    bundle into the TraceBank there, tagged with the scenario name and
+    run status.
+    """
     try:
         scenarios = CHAOS_MATRICES[matrix]
     except KeyError:
@@ -434,6 +452,7 @@ def build_chaos_specs(
             faults=sc.schedule,
             sim_timeout=sc.horizon,
             retries=sc.retries,
+            store=store,
         )
         for fw in frameworks
         for sc in scenarios
@@ -447,15 +466,18 @@ def run_chaos_matrix(
     jobs: int = 1,
     cache: Optional[Any] = None,
     progress: Optional[Callable] = None,
+    store: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run a named matrix and assemble the survival/overhead report.
 
     The report is plain canonical-JSON-ready data — byte-identical across
     ``jobs=1``/``jobs=N``/warm-cache (host wall-clock is reported in the
-    sweep stats only, never inside the per-scenario records).
+    sweep stats only, never inside the per-scenario records).  ``store``
+    archives each scenario's traced bundle; rows then carry the archived
+    ``store_run_id`` (content-derived, so still byte-stable).
     """
     scenarios = CHAOS_MATRICES[matrix] if matrix in CHAOS_MATRICES else None
-    specs = build_chaos_specs(matrix, frameworks=frameworks, seed=seed)
+    specs = build_chaos_specs(matrix, frameworks=frameworks, seed=seed, store=store)
     result = run_sweep(specs, jobs=jobs, cache=cache, progress=progress)
 
     rows: List[Dict[str, Any]] = []
@@ -486,6 +508,7 @@ def run_chaos_matrix(
                     "counters", {}
                 ),
                 "bundle_metadata": chaos.get("traced", {}).get("bundle_metadata"),
+                "store_run_id": point.store_run_id,
                 "cached": point.cached,
             }
             rows.append(row)

@@ -200,6 +200,7 @@ def sweep_block_sizes(
     cache: Optional[Any] = None,
     telemetry: bool = False,
     progress: Optional[Callable] = None,
+    store: Optional[str] = None,
 ) -> List[Any]:
     """Measure overhead across block sizes at constant bytes per rank.
 
@@ -208,7 +209,8 @@ def sweep_block_sizes(
     Passing ``jobs > 1``, a :class:`~repro.harness.runcache.RunCache`, a
     pickle-safe framework spec (a :class:`~repro.harness.parallel.FrameworkSpec`
     or registered factory name instead of a closure), ``telemetry=True``,
-    or a ``progress`` callback routes the sweep through
+    a ``store`` archive root (each point then ingests its traced bundle
+    into that TraceBank), or a ``progress`` callback routes the sweep through
     :func:`repro.harness.parallel.run_sweep` and returns
     :class:`~repro.harness.parallel.PointResult` objects — same overhead
     numbers and fingerprints, no live simulator state.
@@ -219,6 +221,7 @@ def sweep_block_sizes(
         jobs != 1
         or cache is not None
         or telemetry
+        or store is not None
         or progress is not None
         or isinstance(framework_factory, (FrameworkSpec, str))
     ):
@@ -232,6 +235,7 @@ def sweep_block_sizes(
             nprocs=nprocs,
             seed=seed,
             telemetry=telemetry,
+            store=store,
         )
         return run_sweep(specs, jobs=jobs, cache=cache, progress=progress).points
     if isinstance(workload, str):

@@ -151,6 +151,7 @@ def figure_series(
     cache: Optional[Any] = None,
     telemetry: bool = False,
     progress: Optional[Callable] = None,
+    store: Optional[str] = None,
 ) -> FigureSeries:
     """Regenerate Figure 2, 3 or 4.
 
@@ -183,6 +184,7 @@ def figure_series(
         cache=cache,
         telemetry=telemetry,
         progress=progress,
+        store=store,
     )
     return FigureSeries(
         figure_number=figure_number,
@@ -218,6 +220,7 @@ def run_figures(
     cache: Optional[Any] = None,
     telemetry: bool = False,
     progress: Optional[Callable] = None,
+    store: Optional[str] = None,
 ) -> FigureSweep:
     """Regenerate several figures as one flat sweep (maximum parallelism).
 
@@ -246,6 +249,7 @@ def run_figures(
                 nprocs=nprocs,
                 seed=seed,
                 telemetry=telemetry,
+                store=store,
             )
         )
         owners.extend([figno] * len(sizes))

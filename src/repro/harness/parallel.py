@@ -50,7 +50,10 @@ __all__ = [
     "build_sweep_specs",
     "execute_spec",
     "execute_spec_safe",
+    "ingest_spec_bundle",
+    "parallel_map",
     "run_sweep",
+    "spec_store_meta",
 ]
 
 #: Named framework factories: name -> callable(params dict) -> TracingFramework.
@@ -140,6 +143,10 @@ class RunSpec:
     #: Timeout retries (exponential horizon doubling) before the point is
     #: annotated as failed.
     retries: int = 0
+    #: TraceBank archive root; when set, the worker ingests the traced
+    #: run's bundle after measuring and records the run id on the result.
+    #: Part of the cache key (archived and plain points never alias).
+    store: Optional[str] = None
 
     @staticmethod
     def create(
@@ -153,6 +160,7 @@ class RunSpec:
         faults: Optional[Any] = None,
         sim_timeout: Optional[float] = None,
         retries: int = 0,
+        store: Optional[str] = None,
     ) -> "RunSpec":
         """Construct a spec from plain arguments (dict args, name or spec)."""
         return RunSpec(
@@ -166,6 +174,7 @@ class RunSpec:
             faults=faults,
             sim_timeout=sim_timeout,
             retries=retries,
+            store=store,
         )
 
     def args_dict(self) -> Dict[str, Any]:
@@ -269,6 +278,9 @@ class PointResult:
     #: Chaos payload (fault log, counters, per-run status) for points run
     #: under a fault schedule; canonical-JSON-clean for byte-identity.
     chaos: Optional[Dict[str, Any]] = None
+    #: TraceBank run id of the traced run's archived bundle, for points
+    #: executed with ``spec.store`` set (content-derived, so cache-stable).
+    store_run_id: Optional[str] = None
 
     @property
     def elapsed_overhead(self) -> float:
@@ -334,6 +346,7 @@ def build_sweep_specs(
     nprocs: Optional[int] = None,
     seed: Optional[int] = None,
     telemetry: bool = False,
+    store: Optional[str] = None,
 ) -> List[RunSpec]:
     """Specs for a constant-bytes-per-rank block-size sweep (one per size)."""
     fw = as_framework_spec(framework)
@@ -347,6 +360,7 @@ def build_sweep_specs(
             nprocs=nprocs,
             seed=seed,
             telemetry=telemetry,
+            store=store,
         )
         for bs in block_sizes
     ]
@@ -362,13 +376,47 @@ def _workload_name(fn: Callable) -> str:
     )
 
 
+def spec_store_meta(spec: RunSpec) -> Dict[str, Any]:
+    """The queryable run metadata a sweep point archives with its bundle."""
+    return {
+        "kind": "sweep",
+        "framework": spec.framework.name,
+        "framework_params": dict(spec.framework.params),
+        "workload": spec.workload,
+        "workload_args": dict(spec.workload_args),
+        "nprocs": spec.nprocs,
+        "seed": spec.seed,
+    }
+
+
+def ingest_spec_bundle(
+    spec: RunSpec, bundle: Any, extra: Optional[Mapping[str, Any]] = None
+) -> Optional[str]:
+    """Archive a worker-side trace bundle when the spec asks for it.
+
+    Returns the content-derived TraceBank run id, or None when the spec
+    carries no ``store`` or the run produced no bundle.  Safe from
+    concurrent workers: segment writes are atomic and content-addressed.
+    """
+    if spec.store is None or bundle is None:
+        return None
+    from repro.store.bank import TraceBank
+
+    meta = spec_store_meta(spec)
+    if extra:
+        meta.update(dict(extra))
+    return TraceBank(spec.store).ingest_bundle(bundle, meta=meta).run_id
+
+
 def execute_spec(spec: RunSpec) -> PointResult:
     """Measure one point in this process (the process-pool worker entry).
 
     Runs the full §3.1 protocol (fresh testbed untraced, identical fresh
     testbed traced) and reduces the outcome to a :class:`PointResult`.
     With ``spec.telemetry`` each of the two runs gets its own telemetry
-    session, and the exported payloads ride along on the result.
+    session, and the exported payloads ride along on the result.  With
+    ``spec.store`` the traced run's bundle is archived into the TraceBank
+    there and the result carries its run id.
     """
     if spec.faults is not None or spec.sim_timeout is not None:
         from repro.faults.chaos import execute_fault_spec
@@ -389,7 +437,7 @@ def execute_spec(spec: RunSpec) -> PointResult:
             )
             payload_u = col_u.export(end_time=untraced.elapsed)
         with session() as col_t:
-            traced, _traced_run = run_traced(
+            traced, traced_run = run_traced(
                 spec.framework.build,
                 spec.workload_fn(),
                 spec.args_dict(),
@@ -398,6 +446,9 @@ def execute_spec(spec: RunSpec) -> PointResult:
                 seed=spec.seed,
             )
             payload_t = col_t.export(end_time=traced.elapsed)
+        # Ingest outside the sessions so archive tracepoints never leak
+        # into the measurement's telemetry payloads.
+        run_id = ingest_spec_bundle(spec, traced_run.bundle)
         wall = time.perf_counter() - t0
         return PointResult(
             params=spec.workload_args,
@@ -405,6 +456,7 @@ def execute_spec(spec: RunSpec) -> PointResult:
             traced=RunStats.from_outcome(traced),
             wall_seconds=wall,
             telemetry={"untraced": payload_u, "traced": payload_t},
+            store_run_id=run_id,
         )
     m = measure_overhead(
         spec.framework.build,
@@ -414,12 +466,14 @@ def execute_spec(spec: RunSpec) -> PointResult:
         nprocs=spec.nprocs,
         seed=spec.seed,
     )
+    run_id = ingest_spec_bundle(spec, m.traced_run.bundle)
     wall = time.perf_counter() - t0
     return PointResult(
         params=_kv(m.params),
         untraced=RunStats.from_outcome(m.untraced),
         traced=RunStats.from_outcome(m.traced),
         wall_seconds=wall,
+        store_run_id=run_id,
     )
 
 
@@ -511,6 +565,25 @@ def run_sweep(
         wall_seconds=time.perf_counter() - t0,
     )
     return SweepResult(points=[p for p in results if p is not None], report=report)
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any], jobs: int = 1) -> List[Any]:
+    """Order-preserving map over a process pool (the archive's scan fan-out).
+
+    The generic sibling of :func:`run_sweep`: results always come back in
+    input order regardless of completion order, so callers that merge
+    partials sequentially get byte-identical output for any ``jobs``.
+    ``fn`` must be a module-level function and ``items`` pickle-safe when
+    ``jobs > 1``; with one job (or one item) everything runs in-process
+    with no pool overhead.
+    """
+    if jobs < 1:
+        raise ReproError("jobs must be >= 1, got %r" % (jobs,))
+    work = list(items)
+    if jobs > 1 and len(work) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            return list(pool.map(fn, work))
+    return [fn(item) for item in work]
 
 
 # -- built-in registrations --------------------------------------------------

@@ -100,6 +100,10 @@ def spec_key(spec: RunSpec) -> str:
         material["faults"] = _canon(spec.faults)
         material["sim_timeout"] = spec.sim_timeout
         material["retries"] = spec.retries
+    # Archived specs widen the key too (a flag, not the store path: the
+    # run id is content-derived, so it is valid for any archive location).
+    if getattr(spec, "store", None) is not None:
+        material["store"] = True
     return hashlib.sha256(_dumps(material).encode("utf-8")).hexdigest()
 
 
@@ -183,6 +187,7 @@ class RunCache:
             error=payload.get("error"),
             attempts=int(payload.get("attempts", 1)),
             chaos=payload.get("chaos"),
+            store_run_id=payload.get("store_run_id"),
         )
 
     @staticmethod
@@ -226,6 +231,8 @@ class RunCache:
             # Chaos payloads are canonical-JSON round-tripped at creation,
             # so cached and fresh points compare byte-identical.
             payload["chaos"] = result.chaos
+        if result.store_run_id is not None:
+            payload["store_run_id"] = result.store_run_id
         entry = {
             "schema": _SCHEMA,
             "key": key,

@@ -163,6 +163,26 @@ class TelemetryCollector:
         """One stochastic injection hit (packet_drop, disk_error, ...)."""
         self.metrics.inc("faults.injected.%s" % kind)
 
+    # -- repro.store ---------------------------------------------------------
+
+    def store_ingest(self, segments: int, new: int, deduped: int,
+                     events: int) -> None:
+        """One bundle archived into a TraceBank (ingest accounting)."""
+        m = self.metrics
+        m.inc("store.ingest.runs")
+        m.inc("store.ingest.segments", segments)
+        m.inc("store.ingest.new_segments", new)
+        m.inc("store.ingest.deduped_segments", deduped)
+        m.inc("store.ingest.events", events)
+
+    def store_scan(self, scanned: int, pruned: int, matched: int) -> None:
+        """One archive query/DFG scan finished (pushdown accounting)."""
+        m = self.metrics
+        m.inc("store.scan.queries")
+        m.inc("store.scan.segments_scanned", scanned)
+        m.inc("store.scan.segments_pruned", pruned)
+        m.inc("store.scan.events_matched", matched)
+
     # -- simfs ---------------------------------------------------------------
 
     def disk_op(self, name: str, t: float, nbytes: int, sequential: bool,

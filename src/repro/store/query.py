@@ -1,0 +1,386 @@
+"""The parallel query engine over a TraceBank archive.
+
+A query is answered in three stages:
+
+1. **Select** — run manifests are filtered by metadata equality
+   (``where``) and run-id prefixes, via the warm manifest index;
+2. **Prune** — each candidate segment's manifest summary is checked
+   against the query's rank/op/layer/time predicates
+   (:meth:`~repro.store.segments.SegmentMeta.may_match`): segments that
+   cannot contain a matching event are never read — predicate pushdown;
+3. **Scan** — surviving shards are decoded and filtered, fanned out over
+   worker processes via :func:`repro.harness.parallel.parallel_map`.
+
+Partial results are merged in shard order (sorted by ``(run_id, rank,
+sha)``) regardless of worker completion order, and every report is
+normalized through canonical JSON — so query output is byte-identical
+across ``jobs=1``, ``jobs=N``, and cold/warm manifest caches, the same
+determinism contract the sweep harness pins down.
+
+Aggregates: ``events`` (the matching events themselves), ``ops``
+(per-function call/time histogram, the Figure-1 summary shape), ``bytes``
+(per-rank event/byte counts), and ``bandwidth`` (payload bytes over fixed
+time windows).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from fnmatch import fnmatchcase
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import StoreQueryError
+from repro.obs.metrics import canonical_json
+from repro.obs.tracepoints import STATE
+from repro.store.bank import TraceBank
+from repro.store.manifest import RunManifest
+from repro.trace.events import TraceEvent
+
+__all__ = ["AGGREGATES", "Query", "run_query", "scan_events"]
+
+#: The supported ``Query.agg`` values.
+AGGREGATES: Tuple[str, ...] = ("events", "ops", "bytes", "bandwidth")
+
+QUERY_SCHEMA = "repro/store/query/v1"
+
+
+@dataclass(frozen=True)
+class Query:
+    """One declarative archive query (filters + aggregate choice).
+
+    Filters compose conjunctively.  ``ranks``/``names``/``layers`` are
+    membership tests; ``path_glob`` is an ``fnmatch`` pattern over the
+    event path; ``since``/``until`` bound event *start* timestamps as the
+    half-open window ``[since, until)``.  ``where`` filters whole runs by
+    manifest metadata equality (dotted keys reach into nested mappings,
+    values compare as strings); ``runs`` selects runs by id prefix.
+    ``window`` is the ``bandwidth`` bucket width in simulated seconds;
+    ``limit`` truncates the ``events`` aggregate after global ordering.
+    """
+
+    agg: str = "ops"
+    ranks: Optional[Tuple[int, ...]] = None
+    names: Optional[Tuple[str, ...]] = None
+    layers: Optional[Tuple[str, ...]] = None
+    path_glob: Optional[str] = None
+    since: Optional[float] = None
+    until: Optional[float] = None
+    where: Tuple[Tuple[str, str], ...] = ()
+    runs: Optional[Tuple[str, ...]] = None
+    window: float = 0.05
+    limit: Optional[int] = None
+
+    @staticmethod
+    def create(
+        agg: str = "ops",
+        ranks: Optional[Iterable[int]] = None,
+        names: Optional[Iterable[str]] = None,
+        layers: Optional[Iterable[str]] = None,
+        path_glob: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        where: Optional[Mapping[str, Any]] = None,
+        runs: Optional[Iterable[str]] = None,
+        window: float = 0.05,
+        limit: Optional[int] = None,
+    ) -> "Query":
+        """Build a query from plain Python collections (dicts, lists)."""
+        return Query(
+            agg=agg,
+            ranks=tuple(sorted(set(int(r) for r in ranks))) if ranks else None,
+            names=tuple(sorted(set(str(n) for n in names))) if names else None,
+            layers=tuple(sorted(set(str(l) for l in layers))) if layers else None,
+            path_glob=path_glob,
+            since=since,
+            until=until,
+            where=tuple(sorted((str(k), str(v)) for k, v in (where or {}).items())),
+            runs=tuple(sorted(set(str(r) for r in runs))) if runs else None,
+            window=float(window),
+            limit=limit,
+        )
+
+    def validate(self) -> None:
+        """Reject malformed queries with a typed error."""
+        if self.agg not in AGGREGATES:
+            raise StoreQueryError(
+                "unknown aggregate %r (known: %s)" % (self.agg, ", ".join(AGGREGATES))
+            )
+        if self.window <= 0:
+            raise StoreQueryError("bandwidth window must be positive")
+        if self.limit is not None and self.limit < 0:
+            raise StoreQueryError("limit must be non-negative")
+        if (
+            self.since is not None
+            and self.until is not None
+            and self.until <= self.since
+        ):
+            raise StoreQueryError("empty time window: until <= since")
+
+    def plan(self) -> Dict[str, Any]:
+        """The pickle-safe scan plan shipped to worker processes."""
+        return {
+            "agg": self.agg,
+            "ranks": list(self.ranks) if self.ranks is not None else None,
+            "names": list(self.names) if self.names is not None else None,
+            "layers": list(self.layers) if self.layers is not None else None,
+            "path_glob": self.path_glob,
+            "since": self.since,
+            "until": self.until,
+            "window": self.window,
+        }
+
+    def echo(self) -> Dict[str, Any]:
+        """The query's canonical-JSON echo embedded in every report."""
+        return {
+            "agg": self.agg,
+            "filters": self.plan(),
+            "where": {k: v for k, v in self.where},
+            "runs": list(self.runs) if self.runs is not None else None,
+            "limit": self.limit,
+        }
+
+
+def _meta_lookup(meta: Mapping[str, Any], dotted: str) -> Any:
+    node: Any = meta
+    for part in dotted.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _run_selected(m: RunManifest, query: Query) -> bool:
+    if query.runs is not None and not any(
+        m.run_id.startswith(p) for p in query.runs
+    ):
+        return False
+    for key, want in query.where:
+        got = _meta_lookup(m.meta, key)
+        if got is None or str(got) != want:
+            return False
+    return True
+
+
+def select_shards(
+    bank: TraceBank, query: Query
+) -> Tuple[List[RunManifest], List[Tuple[str, str, int, str]], Dict[str, int]]:
+    """Stages 1+2: pick runs, prune segments; returns deterministic shards.
+
+    Shards are ``(root, run_id, rank, sha)`` tuples sorted by
+    ``(run_id, rank, sha)`` — the merge order every aggregate uses.
+    """
+    manifests = bank.manifests()
+    selected = [m for m in manifests if _run_selected(m, query)]
+    shards: List[Tuple[str, str, int, str]] = []
+    total = pruned = 0
+    ranks = set(query.ranks) if query.ranks is not None else None
+    names = set(query.names) if query.names is not None else None
+    layers = set(query.layers) if query.layers is not None else None
+    for m in selected:
+        for seg in m.segments:
+            total += 1
+            if seg.may_match(
+                ranks=ranks,
+                names=names,
+                layers=layers,
+                since=query.since,
+                until=query.until,
+            ):
+                shards.append((str(bank.root), m.run_id, seg.rank, seg.sha256))
+            else:
+                pruned += 1
+    shards.sort(key=lambda s: (s[1], s[2], s[3]))
+    stats = {
+        "runs_total": len(manifests),
+        "runs_selected": len(selected),
+        "segments_total": total,
+        "segments_scanned": len(shards),
+        "segments_pruned": pruned,
+    }
+    return selected, shards, stats
+
+
+def _event_matches(e: TraceEvent, rank: int, plan: Dict[str, Any]) -> bool:
+    if plan["ranks"] is not None and rank not in plan["ranks"]:
+        return False
+    if plan["names"] is not None and e.name not in plan["names"]:
+        return False
+    if plan["layers"] is not None and e.layer.value not in plan["layers"]:
+        return False
+    since, until = plan["since"], plan["until"]
+    if since is not None and e.timestamp < since:
+        return False
+    if until is not None and e.timestamp >= until:
+        return False
+    glob = plan["path_glob"]
+    if glob is not None and (e.path is None or not fnmatchcase(e.path, glob)):
+        return False
+    return True
+
+
+def _event_json(e: TraceEvent, run_id: str, rank: int, seq: int) -> Dict[str, Any]:
+    return {
+        "run": run_id,
+        "rank": rank,
+        "seq": seq,
+        "timestamp": e.timestamp,
+        "duration": e.duration,
+        "layer": e.layer.value,
+        "name": e.name,
+        "pid": e.pid,
+        "hostname": e.hostname,
+        "path": e.path,
+        "fd": e.fd,
+        "nbytes": e.nbytes,
+        "offset": e.offset,
+        "result": e.result if isinstance(e.result, (int, str)) else None,
+    }
+
+
+def _scan_shard(task: Tuple[str, str, int, str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Decode + filter + partially aggregate one shard (worker entry).
+
+    Module-level so it pickles into :func:`~repro.harness.parallel.parallel_map`
+    worker processes.  Partial results use only plain JSON types.
+    """
+    root, run_id, rank, sha, plan = task
+    bank = TraceBank(root, create=False)
+    tf = bank.read_segment(sha)
+    plan = dict(plan)
+    for key in ("ranks", "names", "layers"):
+        if plan[key] is not None:
+            plan[key] = set(plan[key])
+    agg = plan["agg"]
+    matched = 0
+    out: Dict[str, Any] = {"matched": 0}
+    if agg == "events":
+        rows: List[Dict[str, Any]] = []
+        for seq, e in enumerate(tf.events):
+            if _event_matches(e, rank, plan):
+                rows.append(_event_json(e, run_id, rank, seq))
+        matched = len(rows)
+        out["events"] = rows
+    elif agg == "ops":
+        ops: Dict[str, List[float]] = {}
+        for e in tf.events:
+            if _event_matches(e, rank, plan):
+                matched += 1
+                cell = ops.setdefault(e.name, [0, 0.0])
+                cell[0] += 1
+                cell[1] += e.duration
+        out["ops"] = ops
+    elif agg == "bytes":
+        n_events = 0
+        nbytes = 0
+        for e in tf.events:
+            if _event_matches(e, rank, plan):
+                matched += 1
+                n_events += 1
+                if e.nbytes is not None:
+                    nbytes += e.nbytes
+        out["rank"] = rank
+        out["events"] = n_events
+        out["bytes"] = nbytes
+    elif agg == "bandwidth":
+        window = plan["window"]
+        buckets: Dict[str, int] = {}
+        for e in tf.events:
+            if _event_matches(e, rank, plan):
+                matched += 1
+                if e.nbytes is not None:
+                    idx = int(e.timestamp // window)
+                    key = str(idx)
+                    buckets[key] = buckets.get(key, 0) + e.nbytes
+        out["buckets"] = buckets
+    else:  # pragma: no cover - validate() rejects this before scan
+        raise StoreQueryError("unknown aggregate %r" % agg)
+    out["matched"] = matched
+    return out
+
+
+def _merge_result(query: Query, partials: Sequence[Dict[str, Any]]) -> Tuple[Dict[str, Any], int]:
+    matched = sum(p["matched"] for p in partials)
+    if query.agg == "events":
+        rows = [row for p in partials for row in p["events"]]
+        rows.sort(key=lambda r: (r["timestamp"], r["run"], r["rank"], r["seq"]))
+        truncated = query.limit is not None and len(rows) > query.limit
+        if truncated:
+            rows = rows[: query.limit]
+        return {"events": rows, "truncated": truncated}, matched
+    if query.agg == "ops":
+        ops: Dict[str, List[float]] = {}
+        for p in partials:
+            for name, (calls, total) in sorted(p["ops"].items()):
+                cell = ops.setdefault(name, [0, 0.0])
+                cell[0] += calls
+                cell[1] += total
+        return {
+            "ops": {
+                name: {"calls": int(c), "total_time": t}
+                for name, (c, t) in sorted(ops.items())
+            }
+        }, matched
+    if query.agg == "bytes":
+        ranks: Dict[str, Dict[str, int]] = {}
+        for p in partials:
+            cell = ranks.setdefault(str(p["rank"]), {"events": 0, "bytes": 0})
+            cell["events"] += p["events"]
+            cell["bytes"] += p["bytes"]
+        total_bytes = sum(c["bytes"] for c in ranks.values())
+        return {"ranks": dict(sorted(ranks.items(), key=lambda kv: int(kv[0]))),
+                "total_bytes": total_bytes}, matched
+    # bandwidth
+    buckets: Dict[int, int] = {}
+    for p in partials:
+        for key, nbytes in p["buckets"].items():
+            idx = int(key)
+            buckets[idx] = buckets.get(idx, 0) + nbytes
+    w = query.window
+    rows = [
+        {
+            "t0": idx * w,
+            "t1": (idx + 1) * w,
+            "bytes": nbytes,
+            "bandwidth": nbytes / w,
+        }
+        for idx, nbytes in sorted(buckets.items())
+    ]
+    return {"window": w, "buckets": rows}, matched
+
+
+def run_query(
+    bank: TraceBank, query: Query, jobs: int = 1
+) -> Dict[str, Any]:
+    """Answer one query; returns the canonical-JSON report dict.
+
+    ``jobs > 1`` fans the shard scans over worker processes with results
+    merged in shard order — output bytes never depend on the job count.
+    Emits ``store.scan.*`` telemetry when a collector is active.
+    """
+    from repro.harness.parallel import parallel_map
+
+    query.validate()
+    _selected, shards, scan = select_shards(bank, query)
+    plan = query.plan()
+    tasks = [(root, run_id, rank, sha, plan) for root, run_id, rank, sha in shards]
+    partials = parallel_map(_scan_shard, tasks, jobs=jobs)
+    result, matched = _merge_result(query, partials)
+    col = STATE.collector
+    if col is not None:
+        col.store_scan(scan["segments_scanned"], scan["segments_pruned"], matched)
+    report = {
+        "schema": QUERY_SCHEMA,
+        "query": query.echo(),
+        "scan": dict(scan, events_matched=matched),
+        "result": result,
+    }
+    return json.loads(canonical_json(report))
+
+
+def scan_events(
+    bank: TraceBank, query: Query, jobs: int = 1
+) -> List[Dict[str, Any]]:
+    """Convenience: the ``events`` aggregate's globally ordered rows."""
+    report = run_query(bank, replace(query, agg="events"), jobs=jobs)
+    return report["result"]["events"]

@@ -1,0 +1,198 @@
+"""Content-addressed trace segments: the archive's unit of storage.
+
+A *segment* is one ``(run, rank)`` slice of a trace bundle — a
+:class:`~repro.trace.records.TraceFile` — serialized with the existing
+binary codec (:mod:`repro.trace.binary_format`, so segments inherit its
+framing, CRC32 checksums, and optional zlib compression) and addressed by
+the SHA-256 of its encoded bytes.  Content addressing is what makes the
+archive dedup for free: re-ingesting an identical run re-derives the same
+bytes, the same digest, and therefore the same on-disk file.
+
+Every segment carries a :class:`SegmentMeta` summary in its run manifest —
+time range, per-op and per-layer counts, payload bytes — which is what the
+query engine's predicate pushdown consults to skip shards without reading
+them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.errors import StoreCorruptionError, TraceError
+from repro.trace.binary_format import decode_trace_file, encode_trace_file
+from repro.trace.records import TraceFile
+
+__all__ = [
+    "SegmentMeta",
+    "content_address",
+    "encode_segment",
+    "decode_segment",
+    "summarize_segment",
+]
+
+
+def content_address(blob: bytes) -> str:
+    """The segment's identity: SHA-256 hex digest of its encoded bytes."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def encode_segment(
+    tf: TraceFile, compressed: bool = True, checksum: bool = True
+) -> Tuple[bytes, str]:
+    """Serialize one per-rank trace file; returns ``(blob, sha256)``.
+
+    The encoding is deterministic for fixed codec flags (fixed zlib level,
+    canonical field order), so identical events always produce identical
+    bytes — the property content addressing depends on.
+    """
+    blob = encode_trace_file(tf, compressed=compressed, checksum=checksum)
+    return blob, content_address(blob)
+
+
+def decode_segment(blob: bytes, expected_sha: str = "") -> TraceFile:
+    """Decode a segment blob back into a :class:`TraceFile`.
+
+    When ``expected_sha`` is given the blob's digest is verified first, and
+    decode failures are reported as archive corruption
+    (:class:`~repro.errors.StoreCorruptionError`) rather than plain trace
+    format errors — the caller is reading the archive, not a user file.
+    """
+    if expected_sha:
+        got = content_address(blob)
+        if got != expected_sha:
+            raise StoreCorruptionError(
+                "segment content hash mismatch: manifest says %s, bytes are %s"
+                % (expected_sha[:12], got[:12])
+            )
+    try:
+        return decode_trace_file(blob)
+    except TraceError as exc:
+        if expected_sha:
+            raise StoreCorruptionError(
+                "segment %s fails to decode: %s" % (expected_sha[:12], exc)
+            ) from exc
+        raise
+
+
+@dataclass(frozen=True)
+class SegmentMeta:
+    """Manifest-resident summary of one segment (the pushdown index entry).
+
+    ``t_min``/``t_max`` span event start times through end times
+    (``timestamp`` .. ``end_timestamp``); ``ops`` and ``layers`` are sorted
+    ``(name, count)`` pairs so the dataclass hashes and renders canonically.
+    """
+
+    rank: int
+    sha256: str
+    n_events: int
+    t_min: float
+    t_max: float
+    total_duration: float
+    payload_bytes: int
+    encoded_bytes: int
+    ops: Tuple[Tuple[str, int], ...] = ()
+    layers: Tuple[Tuple[str, int], ...] = ()
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-JSON manifest rendering (sorted mappings, no tuples)."""
+        return {
+            "rank": self.rank,
+            "sha256": self.sha256,
+            "n_events": self.n_events,
+            "t_min": self.t_min,
+            "t_max": self.t_max,
+            "total_duration": self.total_duration,
+            "payload_bytes": self.payload_bytes,
+            "encoded_bytes": self.encoded_bytes,
+            "ops": {name: count for name, count in self.ops},
+            "layers": {name: count for name, count in self.layers},
+        }
+
+    @staticmethod
+    def from_json(obj: Dict[str, Any]) -> "SegmentMeta":
+        """Invert :meth:`to_json` (manifest load path)."""
+        return SegmentMeta(
+            rank=int(obj["rank"]),
+            sha256=str(obj["sha256"]),
+            n_events=int(obj["n_events"]),
+            t_min=float(obj["t_min"]),
+            t_max=float(obj["t_max"]),
+            total_duration=float(obj["total_duration"]),
+            payload_bytes=int(obj["payload_bytes"]),
+            encoded_bytes=int(obj["encoded_bytes"]),
+            ops=tuple(sorted((str(k), int(v)) for k, v in obj.get("ops", {}).items())),
+            layers=tuple(
+                sorted((str(k), int(v)) for k, v in obj.get("layers", {}).items())
+            ),
+        )
+
+    # -- pushdown -----------------------------------------------------------
+
+    def may_match(
+        self,
+        ranks=None,
+        names=None,
+        layers=None,
+        since=None,
+        until=None,
+    ) -> bool:
+        """Cheap necessary-condition check: can any event here match?
+
+        ``False`` means the query engine may skip (prune) this segment
+        without decoding it; ``True`` only promises the segment is worth
+        scanning.  Time bounds compare against event *start* times, which
+        is also what the scan-side window filter uses.
+        """
+        if ranks is not None and self.rank not in ranks:
+            return False
+        if self.n_events == 0:
+            return False
+        if since is not None and self.t_max < since:
+            return False
+        if until is not None and self.t_min >= until:
+            return False
+        if names is not None and not any(op in names for op, _ in self.ops):
+            return False
+        if layers is not None and not any(ly in layers for ly, _ in self.layers):
+            return False
+        return True
+
+
+def summarize_segment(tf: TraceFile, rank: int, sha256: str, encoded_bytes: int) -> SegmentMeta:
+    """Compute a :class:`SegmentMeta` over one trace file's events."""
+    ops: Dict[str, int] = {}
+    layers: Dict[str, int] = {}
+    t_min = 0.0
+    t_max = 0.0
+    total_duration = 0.0
+    payload = 0
+    for i, e in enumerate(tf.events):
+        ops[e.name] = ops.get(e.name, 0) + 1
+        layer = e.layer.value
+        layers[layer] = layers.get(layer, 0) + 1
+        total_duration += e.duration
+        if e.nbytes is not None:
+            payload += e.nbytes
+        if i == 0:
+            t_min = e.timestamp
+            t_max = e.end_timestamp
+        else:
+            if e.timestamp < t_min:
+                t_min = e.timestamp
+            if e.end_timestamp > t_max:
+                t_max = e.end_timestamp
+    return SegmentMeta(
+        rank=rank,
+        sha256=sha256,
+        n_events=len(tf.events),
+        t_min=t_min,
+        t_max=t_max,
+        total_duration=total_duration,
+        payload_bytes=payload,
+        encoded_bytes=encoded_bytes,
+        ops=tuple(sorted(ops.items())),
+        layers=tuple(sorted(layers.items())),
+    )

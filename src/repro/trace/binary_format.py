@@ -64,7 +64,13 @@ def _unpack_str(data: bytes, offset: int) -> Tuple[str, int]:
     start = offset + 2
     if start + n > len(data):
         raise TraceTruncatedError("string body truncated")
-    return data[start : start + n].decode("utf-8"), start + n
+    try:
+        text = data[start : start + n].decode("utf-8")
+    except UnicodeDecodeError:
+        # Reachable with checksumming disabled: a flipped bit inside a
+        # string body must surface as a format error, not a decode crash.
+        raise TraceFormatError("corrupt UTF-8 in string field") from None
+    return text, start + n
 
 
 def encode_event_record(event: TraceEvent) -> bytes:
@@ -133,7 +139,9 @@ def decode_event_record(data: bytes, offset: int = 0) -> Tuple[TraceEvent, int]:
         raise TraceFormatError("unknown layer code %d" % layer_code) from None
     try:
         args = tuple(json.loads(args_json))
-    except ValueError:
+    except (ValueError, TypeError):
+        # TypeError covers corrupt-but-valid JSON scalars (e.g. "5"):
+        # tuple(5) is not an args list, it is a damaged record.
         raise TraceFormatError("corrupt args JSON in record") from None
     result: Optional[object] = None
     if flags & _F_RESULT:
@@ -210,6 +218,10 @@ def decode_trace_file(data: bytes) -> TraceFile:
         header = json.loads(header_raw.decode("utf-8"))
     except ValueError:
         raise TraceFormatError("corrupt header JSON") from None
+    if not isinstance(header, dict):
+        # json.loads happily returns lists/scalars; header.get on one
+        # would crash below with an AttributeError instead of a typed error.
+        raise TraceFormatError("header is not a JSON object")
     events: List[TraceEvent] = []
     while pos < len(data):
         payload, pos = unframe(data, pos)

@@ -45,7 +45,9 @@ def merge_bundles(bundles: Iterable[Tuple[str, TraceBundle]]) -> TraceBundle:
             next_key += 1
         merged.barrier_stamps.extend(bundle.barrier_stamps)
         sources[label] = keys
-        for mk, mv in bundle.metadata.items():
+        # Sorted so merged metadata never depends on a source dict's
+        # insertion history — merging equal bundles yields equal bundles.
+        for mk, mv in sorted(bundle.metadata.items(), key=lambda kv: str(kv[0])):
             merged.metadata.setdefault("%s.%s" % (label, mk), mv)
     merged.metadata["merged_sources"] = sources
     return merged
@@ -54,8 +56,17 @@ def merge_bundles(bundles: Iterable[Tuple[str, TraceBundle]]) -> TraceBundle:
 def interleave(bundle: TraceBundle) -> List:
     """All events of a bundle in (uncorrected) local-timestamp order.
 
+    The order is a *total* one: ties on equal timestamps break by source
+    name (the file's framework tag), then source key, then the event's
+    capture sequence within its file — never by dict iteration history —
+    so two structurally equal bundles always interleave identically.
     For skew-corrected ordering use
     :func:`repro.analysis.timeline.global_timeline`.
     """
-    events = bundle.all_events()
-    return sorted(events, key=lambda e: (e.timestamp, e.rank or 0))
+    decorated = []
+    for key in sorted(bundle.files):
+        tf = bundle.files[key]
+        for seq, e in enumerate(tf.events):
+            decorated.append((e.timestamp, tf.framework or "", key, seq, e))
+    decorated.sort(key=lambda d: d[:4])
+    return [d[4] for d in decorated]

@@ -57,6 +57,40 @@ class TestCallSummary:
         assert "x" in s and "y" not in s
         assert len(s) == 1
 
+    def test_store_backed_summary_matches_direct(self, tmp_path):
+        from repro.analysis.summary import summarize_store
+        from repro.store import Query, TraceBank
+
+        bundle = TraceBundle(
+            files={
+                0: TraceFile([ev("SYS_write", ts=0.0, dur=0.01, nbytes=4096),
+                              ev("SYS_read", ts=0.1, dur=0.02, nbytes=512)]),
+                1: TraceFile([ev("SYS_write", ts=0.2, dur=0.03, rank=1)]),
+            }
+        )
+        bank = TraceBank(tmp_path / "store")
+        bank.ingest_bundle(bundle)
+        direct = summarize_calls(bundle)
+        stored = summarize_store(str(bank.root), jobs=2)
+        assert [r.name for r in stored.rows()] == [r.name for r in direct.rows()]
+        for name in (r.name for r in direct.rows()):
+            assert stored[name].n_calls == direct[name].n_calls
+            # Shard-order float summation may differ from dict-order: approx.
+            assert stored[name].total_time == pytest.approx(direct[name].total_time)
+
+    def test_store_backed_summary_honors_query_filters(self, tmp_path):
+        from repro.analysis.summary import summarize_store
+        from repro.store import Query, TraceBank
+
+        bank = TraceBank(tmp_path / "store")
+        bank.ingest_bundle(
+            TraceBundle(files={0: TraceFile([ev("SYS_write"), ev("SYS_read")])})
+        )
+        s = summarize_store(
+            str(bank.root), query=Query.create(names=["SYS_read"])
+        )
+        assert [r.name for r in s.rows()] == ["SYS_read"]
+
 
 class TestBandwidthHelpers:
     def test_payload_bytes_counts_io_only(self):

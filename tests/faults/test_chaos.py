@@ -176,3 +176,28 @@ class TestChaosCLI:
         report = json.loads(out.read_text())
         assert report["schema"] == "repro/chaos/v1"
         assert report["frameworks"] == ["ptrace"]
+
+    def test_chaos_store_archives_per_scenario_bundles(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.store import TraceBank
+
+        store = tmp_path / "chaos-bank"
+        rc = main([
+            "chaos", "--matrix", "smoke", "--frameworks", "ptrace",
+            "--no-cache", "--store", str(store),
+            "--report-out", str(tmp_path / "chaos.json"),
+        ])
+        assert rc == 0
+        assert "archived 5 run(s) into the trace store" in capsys.readouterr().out
+        bank = TraceBank(store, create=False)
+        manifests = bank.manifests()
+        assert len(manifests) == 5  # every scenario, crashed ones included
+        by_scenario = {str(m.meta.get("scenario")): m for m in manifests}
+        assert sorted(by_scenario) == [
+            "baseline", "disk-storm", "eio-storm", "node-crash", "partition"
+        ]
+        assert all(str(m.meta.get("kind")) == "chaos" for m in manifests)
+        # The crashed scenario still archives its partial capture.
+        assert by_scenario["node-crash"].n_events > 0
+        assert by_scenario["node-crash"].n_events < by_scenario["baseline"].n_events
+        assert bank.verify()["ok"]

@@ -21,9 +21,10 @@ from repro.harness.parallel import (
     as_framework_spec,
     build_sweep_specs,
     execute_spec,
+    parallel_map,
     run_sweep,
 )
-from repro.harness.runcache import RunCache
+from repro.harness.runcache import RunCache, spec_key
 from repro.units import KiB, MiB
 from repro.workloads import AccessPattern
 
@@ -143,3 +144,69 @@ class TestDeterminismContract:
         )
         spec = figure_series(4, **QUICK)
         assert legacy == spec
+
+
+class TestParallelMap:
+    def test_preserves_item_order(self):
+        items = [-3, -1, -2, -5]
+        assert parallel_map(abs, items, jobs=1) == [3, 1, 2, 5]
+        assert parallel_map(abs, items, jobs=3) == [3, 1, 2, 5]
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(abs, [-7], jobs=8) == [7]
+
+    def test_empty_and_invalid_jobs(self):
+        assert parallel_map(abs, [], jobs=4) == []
+        with pytest.raises(ReproError):
+            parallel_map(abs, [1], jobs=0)
+
+
+class TestStoreIntegration:
+    """Sweeps with ``store=`` archive every run and stay cache-coherent."""
+
+    def _store_specs(self, store, seed=0):
+        return build_sweep_specs(
+            "lanl-trace",
+            "mpi_io_test",
+            {"pattern": AccessPattern.N_TO_N, "path": "/pfs/out"},
+            QUICK["block_sizes"],
+            QUICK["total_bytes_per_rank"],
+            nprocs=QUICK["nprocs"],
+            seed=seed,
+            store=store,
+        )
+
+    def test_sweep_ingests_and_second_sweep_dedups(self, tmp_path):
+        from repro.store import TraceBank
+
+        store = str(tmp_path / "bank")
+        points = run_sweep(self._store_specs(store), jobs=2).points
+        assert all(p.store_run_id for p in points)
+        bank = TraceBank(store, create=False)
+        assert len(bank.run_ids()) == len(points)
+        n_segments = len(bank.disk_segments())
+
+        # Acceptance criterion: re-running the sweep adds zero segments.
+        again = run_sweep(self._store_specs(store), jobs=1).points
+        assert [p.store_run_id for p in again] == [p.store_run_id for p in points]
+        assert len(bank.disk_segments()) == n_segments
+        assert len(bank.run_ids()) == len(points)
+        assert bank.verify()["ok"]
+
+    def test_store_widens_the_cache_key(self, tmp_path):
+        plain = _quick_specs()[0]
+        stored = self._store_specs(str(tmp_path / "bank"))[0]
+        assert spec_key(plain) != spec_key(stored)
+        # ...but the key must not depend on *where* the archive lives.
+        moved = self._store_specs(str(tmp_path / "elsewhere"))[0]
+        assert spec_key(stored) == spec_key(moved)
+
+    def test_cache_payload_roundtrips_store_run_id(self, tmp_path):
+        spec = self._store_specs(str(tmp_path / "bank"))[0]
+        cache = RunCache(tmp_path / "cache")
+        point = execute_spec(spec)
+        assert point.store_run_id
+        cache.put(spec, point)
+        warm = cache.get(spec)
+        assert warm is not None
+        assert warm.store_run_id == point.store_run_id

@@ -100,6 +100,38 @@ class TestCollectorDomains:
         assert c["mpi.collective.barrier"] == 1
         assert c["mpi.messages"] == 1 and c["mpi.message_bytes"] == 256
 
+    def test_store_ingest_and_scan_counters(self):
+        col = TelemetryCollector()
+        col.store_ingest(4, 3, 1, 120)
+        col.store_ingest(4, 0, 4, 120)
+        col.store_scan(6, 2, 300)
+        c = col.metrics.snapshot()["counters"]
+        assert c["store.ingest.runs"] == 2
+        assert c["store.ingest.segments"] == 8
+        assert c["store.ingest.new_segments"] == 3
+        assert c["store.ingest.deduped_segments"] == 5
+        assert c["store.ingest.events"] == 240
+        assert c["store.scan.queries"] == 1
+        assert c["store.scan.segments_scanned"] == 6
+        assert c["store.scan.segments_pruned"] == 2
+        assert c["store.scan.events_matched"] == 300
+
+    def test_ingest_inside_session_hits_store_counters(self, tmp_path):
+        from repro.store import Query, TraceBank, run_query
+        from repro.trace.records import TraceBundle, TraceFile
+        from repro.trace.events import EventLayer, TraceEvent
+
+        e = TraceEvent(timestamp=0.0, duration=0.001,
+                       layer=EventLayer.SYSCALL, name="SYS_write")
+        bank = TraceBank(tmp_path / "store")
+        with session() as col:
+            bank.ingest_bundle(TraceBundle(files={0: TraceFile([e])}))
+            run_query(bank, Query(agg="ops"))
+        c = col.metrics.snapshot()["counters"]
+        assert c["store.ingest.runs"] == 1
+        assert c["store.scan.queries"] == 1
+        assert c["store.scan.events_matched"] == 1
+
 
 class TestExport:
     def test_export_schema_and_purity(self):

@@ -1,0 +1,6 @@
+"""Pytest path setup for the store tests' shared ``storeutil`` helpers."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

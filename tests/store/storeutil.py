@@ -1,0 +1,46 @@
+"""Shared builders for the TraceBank archive tests.
+
+Hand-built bundles (no simulator runs) keep these tests fast; every
+builder is deterministic so content addresses and run ids are stable
+within a test.
+"""
+
+from repro.trace.events import EventLayer, TraceEvent
+from repro.trace.records import TraceBundle, TraceFile
+
+
+def make_event(name="SYS_write", ts=0.0, dur=0.001, layer=EventLayer.SYSCALL,
+               rank=0, path="/pfs/f", nbytes=4096, offset=0):
+    return TraceEvent(
+        timestamp=ts,
+        duration=dur,
+        layer=layer,
+        name=name,
+        args=(3, nbytes),
+        result=nbytes,
+        pid=100 + rank,
+        rank=rank,
+        hostname="host%02d" % rank,
+        user="u",
+        path=path,
+        fd=3,
+        nbytes=nbytes,
+        offset=offset,
+    )
+
+
+def make_trace_file(rank=0, n=8, base_ts=0.0, name="SYS_write", **kw):
+    events = [
+        make_event(name=name, ts=base_ts + i * 0.01, rank=rank,
+                   offset=i * 4096, **kw)
+        for i in range(n)
+    ]
+    return TraceFile(events, hostname="host%02d" % rank, pid=100 + rank,
+                     rank=rank, framework="lanl-trace")
+
+
+def make_bundle(nranks=2, n=8, **kw):
+    return TraceBundle(
+        files={r: make_trace_file(rank=r, n=n, **kw) for r in range(nranks)},
+        metadata={"framework": "lanl-trace", "workload": "unit"},
+    )

@@ -1,0 +1,94 @@
+"""Directly-follows-graph construction over archived segments."""
+
+from storeutil import make_event
+
+from repro.obs.metrics import canonical_json
+from repro.store import Query, TraceBank, build_dfg, render_dfg_dot, render_dfg_text
+from repro.trace.records import TraceBundle, TraceFile
+
+
+def seq_file(names, rank=0, base_ts=0.0):
+    events = [
+        make_event(name=n, ts=base_ts + i * 0.01, rank=rank)
+        for i, n in enumerate(names)
+    ]
+    return TraceFile(events, rank=rank, framework="lanl-trace")
+
+
+def make_bank(tmp_path, files):
+    bank = TraceBank(tmp_path / "store")
+    bank.ingest_bundle(
+        TraceBundle(files={tf.rank: tf for tf in files}, metadata={"workload": "dfg"})
+    )
+    return bank
+
+
+class TestGraphShape:
+    def test_edge_weights(self, tmp_path):
+        bank = make_bank(
+            tmp_path, [seq_file(["open", "write", "write", "close"], rank=0)]
+        )
+        report = build_dfg(bank, Query())
+        graph = report["graph"]
+        assert graph["nodes"] == {"open": 1, "write": 2, "close": 1}
+        assert graph["edges"] == {
+            "open": {"write": 1},
+            "write": {"write": 1, "close": 1},
+        }
+        assert graph["starts"] == {"open": 1}
+        assert graph["ends"] == {"close": 1}
+        assert graph["n_nodes"] == 3
+        assert graph["n_edges"] == 3
+
+    def test_edges_never_cross_segments(self, tmp_path):
+        # rank 0 ends with "close"; rank 1 starts with "open".  If shard
+        # boundaries leaked, a close->open edge would appear.
+        bank = make_bank(
+            tmp_path,
+            [
+                seq_file(["open", "close"], rank=0),
+                seq_file(["open", "close"], rank=1),
+            ],
+        )
+        graph = build_dfg(bank, Query())["graph"]
+        assert graph["edges"] == {"open": {"close": 2}}
+        assert graph["starts"] == {"open": 2}
+        assert graph["ends"] == {"close": 2}
+
+    def test_filters_apply_before_adjacency(self, tmp_path):
+        # Dropping the middle op makes its neighbours adjacent.
+        bank = make_bank(tmp_path, [seq_file(["open", "stat", "close"], rank=0)])
+        q = Query.create(names=["open", "close"])
+        graph = build_dfg(bank, q)["graph"]
+        assert graph["edges"] == {"open": {"close": 1}}
+
+    def test_empty_match_is_empty_graph(self, tmp_path):
+        bank = make_bank(tmp_path, [seq_file(["open"], rank=0)])
+        graph = build_dfg(bank, Query.create(names=["nope"]))["graph"]
+        assert graph["nodes"] == {} and graph["edges"] == {}
+        assert graph["n_nodes"] == 0 and graph["n_edges"] == 0
+
+
+class TestDeterminismAndRender:
+    def test_jobs_do_not_change_bytes(self, tmp_path):
+        bank = make_bank(
+            tmp_path,
+            [seq_file(["open", "write", "close"], rank=r) for r in range(4)],
+        )
+        q = Query()
+        assert canonical_json(build_dfg(bank, q, jobs=1)) == canonical_json(
+            build_dfg(bank, q, jobs=4)
+        )
+
+    def test_text_render(self, tmp_path):
+        bank = make_bank(tmp_path, [seq_file(["open", "write", "close"], rank=0)])
+        text = render_dfg_text(build_dfg(bank, Query()))
+        assert "3 op(s), 2 edge(s)" in text
+        assert "open" in text and "-> " in text
+        assert "starts: open x1" in text
+
+    def test_dot_render(self, tmp_path):
+        bank = make_bank(tmp_path, [seq_file(["open", "close"], rank=0)])
+        dot = render_dfg_dot(build_dfg(bank, Query()))
+        assert dot.startswith("digraph dfg {")
+        assert '"open" -> "close" [label="1"];' in dot

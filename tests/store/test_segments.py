@@ -1,0 +1,106 @@
+"""Content-addressed segment encode/decode and summary pushdown tests."""
+
+import pytest
+
+from storeutil import make_event, make_trace_file
+
+from repro.errors import StoreCorruptionError, TraceError
+from repro.store.segments import (
+    SegmentMeta,
+    content_address,
+    decode_segment,
+    encode_segment,
+    summarize_segment,
+)
+from repro.trace.events import EventLayer
+from repro.trace.records import TraceFile
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        tf = make_trace_file(rank=1, n=5)
+        blob, sha = encode_segment(tf)
+        assert sha == content_address(blob)
+        out = decode_segment(blob, expected_sha=sha)
+        assert out.events == tf.events
+        assert out.rank == 1
+
+    def test_encoding_is_deterministic(self):
+        tf = make_trace_file(n=6)
+        assert encode_segment(tf) == encode_segment(tf)
+
+    @pytest.mark.parametrize("compressed", [True, False])
+    @pytest.mark.parametrize("checksum", [True, False])
+    def test_codec_flags_roundtrip(self, compressed, checksum):
+        tf = make_trace_file(n=4)
+        blob, sha = encode_segment(tf, compressed=compressed, checksum=checksum)
+        assert decode_segment(blob, expected_sha=sha).events == tf.events
+
+    def test_sha_mismatch_is_corruption(self):
+        blob, sha = encode_segment(make_trace_file())
+        with pytest.raises(StoreCorruptionError):
+            decode_segment(blob + b"x", expected_sha=sha)
+
+    def test_undecodable_with_expected_sha_is_corruption(self):
+        bad = b"not a trace at all"
+        with pytest.raises(StoreCorruptionError):
+            decode_segment(bad, expected_sha=content_address(bad))
+
+    def test_undecodable_without_sha_stays_trace_error(self):
+        with pytest.raises(TraceError):
+            decode_segment(b"not a trace at all")
+
+
+class TestSegmentMeta:
+    def make_meta(self):
+        tf = make_trace_file(rank=2, n=10)
+        blob, sha = encode_segment(tf)
+        return summarize_segment(tf, 2, sha, len(blob))
+
+    def test_summary_numbers(self):
+        meta = self.make_meta()
+        assert meta.rank == 2
+        assert meta.n_events == 10
+        assert meta.t_min == pytest.approx(0.0)
+        assert meta.t_max == pytest.approx(0.09 + 0.001)
+        assert meta.payload_bytes == 10 * 4096
+        assert dict(meta.ops) == {"SYS_write": 10}
+        assert dict(meta.layers) == {"syscall": 10}
+
+    def test_json_roundtrip(self):
+        meta = self.make_meta()
+        assert SegmentMeta.from_json(meta.to_json()) == meta
+
+    def test_may_match_rank_and_name(self):
+        meta = self.make_meta()
+        assert meta.may_match(ranks={2})
+        assert not meta.may_match(ranks={0, 1})
+        assert meta.may_match(names={"SYS_write"})
+        assert not meta.may_match(names={"SYS_read"})
+        assert meta.may_match(layers={"syscall"})
+        assert not meta.may_match(layers={"vfs"})
+
+    def test_may_match_time_window(self):
+        meta = self.make_meta()  # events start in [0.0, 0.09]
+        assert meta.may_match(since=0.05)
+        assert not meta.may_match(since=1.0)
+        assert meta.may_match(until=0.05)
+        assert not meta.may_match(until=0.0)
+
+    def test_empty_segment_never_matches(self):
+        tf = TraceFile([], rank=0)
+        blob, sha = encode_segment(tf)
+        meta = summarize_segment(tf, 0, sha, len(blob))
+        assert not meta.may_match()
+
+    def test_mixed_layers_counted(self):
+        tf = TraceFile(
+            [
+                make_event(ts=0.0),
+                make_event(name="vfs_write", ts=0.1, layer=EventLayer.VFS),
+            ],
+            rank=0,
+        )
+        blob, sha = encode_segment(tf)
+        meta = summarize_segment(tf, 0, sha, len(blob))
+        assert dict(meta.layers) == {"syscall": 1, "vfs": 1}

@@ -168,6 +168,80 @@ class TestCrashTruncationFuzz:
                 pass
 
 
+class TestTypedDecodeErrors:
+    """Targeted regressions for decode paths that once leaked bare
+    exceptions (``UnicodeDecodeError``, ``TypeError``, ``AttributeError``)
+    instead of the :class:`~repro.errors.TraceError` family.
+    """
+
+    def test_corrupt_utf8_string_field_is_format_error(self):
+        from repro.errors import TraceFormatError
+        from repro.trace.binary_format import decode_event_record, encode_event_record
+
+        event = TraceEvent(
+            timestamp=0.0, duration=0.0, layer=EventLayer.SYSCALL,
+            name="SYS_write", hostname="node", user="u",
+        )
+        rec = bytearray(encode_event_record(event))
+        # The name string body starts right after fixed part + rank + u16 len.
+        name_at = rec.index(b"SYS_write")
+        rec[name_at] = 0xFF  # 0xFF is never valid UTF-8
+        with pytest.raises(TraceFormatError):
+            decode_event_record(bytes(rec))
+
+    def test_scalar_args_json_is_format_error(self):
+        import json as _json
+        import struct as _struct
+
+        from repro.errors import TraceFormatError
+        from repro.trace.binary_format import decode_event_record, encode_event_record
+
+        event = TraceEvent(
+            timestamp=0.0, duration=0.0, layer=EventLayer.SYSCALL,
+            name="SYS_write", args=(3, 4096),
+        )
+        rec = encode_event_record(event)
+        # The args JSON string is the final field; swap it for a bare
+        # scalar ("5"), which json-parses fine but is not an args list.
+        old = _json.dumps(list(event.args), separators=(",", ":")).encode()
+        old_field = _struct.pack("<H", len(old)) + old
+        assert rec.endswith(old_field)
+        mangled = rec[: -len(old_field)] + _struct.pack("<H", 1) + b"5"
+        with pytest.raises(TraceFormatError):
+            decode_event_record(mangled)
+
+    def test_non_object_header_is_format_error(self):
+        import struct as _struct
+
+        from repro.errors import TraceFormatError
+        from repro.trace.checksum import frame as _frame
+
+        blob = b"RTBF" + _struct.pack("<H", 1) + _frame(b"[1,2,3]")
+        with pytest.raises(TraceFormatError):
+            decode_trace_file(blob)
+
+
+class TestCorpusCodecMatrix:
+    """Crash-truncation corpus across the codec flag matrix.
+
+    Checksummed blobs must *detect* corruption; unchecksummed blobs may
+    decode damaged data — but both must stay inside the TraceError
+    contract for every corpus variant.
+    """
+
+    @pytest.mark.parametrize("compressed", [True, False])
+    @pytest.mark.parametrize("checksum", [True, False])
+    def test_corpus_stays_typed(self, compressed, checksum):
+        from repro.faults.corrupt import crash_truncation_corpus
+
+        blob = _sample_blob(compressed=compressed, checksum=checksum)
+        for variant in crash_truncation_corpus(blob, seed=3, n=24):
+            try:
+                decode_trace_file(variant)
+            except TraceError:
+                pass  # the only acceptable failure mode
+
+
 class TestTextFuzz:
     @given(text=st.text(max_size=300))
     @settings(max_examples=120, deadline=None)

@@ -1,5 +1,7 @@
 """Heterogeneous trace aggregation tests (the future-work API)."""
 
+from hypothesis import given, settings, strategies as st
+
 from repro.trace.events import EventLayer, TraceEvent
 from repro.trace.merge import interleave, merge_bundles
 from repro.trace.records import BarrierStamp, TraceBundle, TraceFile
@@ -63,3 +65,57 @@ def test_merge_empty_list():
     merged = merge_bundles([])
     assert merged.n_sources == 0
     assert interleave(merged) == []
+
+
+class TestDeterministicOrdering:
+    """Merge/interleave output must not depend on dict insertion order,
+    and equal timestamps must tie-break stably (by source framework, file
+    key, then capture sequence) — the property the TraceBank archive's
+    byte-identity contract builds on.
+    """
+
+    @given(
+        perm=st.permutations(list(range(4))),
+        stamps=st.lists(
+            st.sampled_from([0.0, 0.5, 0.5, 1.0]), min_size=1, max_size=6
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interleave_ignores_file_insertion_order(self, perm, stamps):
+        def build(order):
+            files = {}
+            for key in order:
+                files[key] = TraceFile(
+                    [ev("op%d_%d" % (key, i), ts) for i, ts in enumerate(stamps)],
+                    rank=key,
+                    framework="fw%d" % (key % 2),
+                )
+            return TraceBundle(files=files)
+
+        base = interleave(build(list(range(4))))
+        shuffled = interleave(build(list(perm)))
+        assert shuffled == base
+
+    @given(perm=st.permutations(["alpha", "beta", "gamma"]))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_metadata_ignores_insertion_order(self, perm):
+        def build(keys):
+            md = {k: "v-" + k for k in keys}
+            return TraceBundle(
+                files={0: TraceFile([ev("SYS_write", 1.0)], rank=0)},
+                metadata=md,
+            )
+
+        base = merge_bundles([("src", build(["alpha", "beta", "gamma"]))])
+        shuffled = merge_bundles([("src", build(list(perm)))])
+        assert list(base.metadata.items()) == list(shuffled.metadata.items())
+
+    def test_equal_timestamps_tie_break_total(self):
+        # Two files, fully tied timestamps: order is (framework, key, seq).
+        bundle = TraceBundle(
+            files={
+                1: TraceFile([ev("b0", 1.0), ev("b1", 1.0)], framework="zz"),
+                0: TraceFile([ev("a0", 1.0), ev("a1", 1.0)], framework="aa"),
+            }
+        )
+        assert [e.name for e in interleave(bundle)] == ["a0", "a1", "b0", "b1"]
