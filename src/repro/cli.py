@@ -40,6 +40,16 @@ Commands:
     (direction inferred from file extensions).
 ``anonymize IN OUT [--mode randomize|encrypt] [--key HEX] [--fields ...]``
     Anonymize a trace file for release.
+``obs diff|critpath|check``
+    The regression observatory.  ``diff`` structurally compares two
+    runs' telemetry (counter deltas, histogram divergence, span-tree
+    alignment with per-layer self-time deltas) — runs are addressed by
+    telemetry file or TraceBank run-id prefix.  ``critpath`` attributes
+    self time to stack layers, names the straggler rank chain bounding
+    elapsed time, and exports collapsed-stack flamegraph lines.
+    ``check`` gates the latest ``BENCH_history.jsonl`` record (appended
+    by ``figures --baseline``) with median/MAD change detection;
+    ``--fail-on-regression`` exits nonzero when a metric regressed.
 ``store ingest|ls|query|dfg|verify|gc``
     The TraceBank trace archive: ingest trace files or whole sweeps
     (``--store`` on ``figure``/``figures``/``chaos`` auto-archives every
@@ -330,6 +340,21 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             ),
         )
         print("wrote %d telemetry artifact(s) to %s" % (len(written), args.telemetry_out))
+    if args.baseline:
+        from repro.obs.baseline import append_history, make_record
+
+        record = make_record(
+            sweep.bench_points,
+            quick=bool(args.quick),
+            nprocs=nprocs,
+            jobs=report.jobs,
+            label=args.baseline_label,
+        )
+        idx = append_history(args.baseline, record)
+        print(
+            "appended baseline record #%d (%d point(s)) to %s"
+            % (idx, len(sweep.bench_points), args.baseline)
+        )
     return 0
 
 
@@ -464,6 +489,97 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
     _store_trace(tf.map(anonymizer), Path(args.output))
     print("anonymized %d events (%s: %s) -> %s"
           % (len(tf), args.mode, ", ".join(sorted(fields)), args.output))
+    return 0
+
+
+# -- obs commands ------------------------------------------------------------
+
+
+def _load_telemetry_payload(source: str, store: str, run: str):
+    """Resolve one diff/critpath source to a telemetry payload + label.
+
+    ``source`` is a telemetry artifact on disk (a bare payload or the
+    combined ``{untraced, traced}`` file, where ``run`` picks the side)
+    or a TraceBank run-id prefix resolved against ``store`` (the payload
+    is then synthesized from the archived events).
+    """
+    import json
+
+    from repro.errors import TelemetryError
+
+    path = Path(source)
+    if path.is_file():
+        obj = json.loads(path.read_text("utf-8"))
+        if isinstance(obj, dict) and obj.get("schema") == "repro/telemetry/v1":
+            return obj, path.name
+        if isinstance(obj, dict) and {"untraced", "traced"} <= set(obj):
+            return obj[run], "%s:%s" % (path.name, run)
+        raise TelemetryError(
+            "%s is not a telemetry payload or an {untraced, traced} pair"
+            % source
+        )
+    from repro.store import TraceBank, telemetry_view
+
+    bank = TraceBank(store, create=False)
+    payload = telemetry_view(bank, source)
+    return payload, "store:%s" % payload["source"]["run_id"][:12]
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.compare import compare_payloads, render_diff
+    from repro.obs.metrics import canonical_json
+
+    run_a = args.run_a or args.run
+    run_b = args.run_b or args.run
+    payload_a, label_a = _load_telemetry_payload(args.run_a_source, args.store, run_a)
+    payload_b, label_b = _load_telemetry_payload(args.run_b_source, args.store, run_b)
+    report = compare_payloads(payload_a, payload_b, label_a=label_a, label_b=label_b)
+    if args.format == "json":
+        print(canonical_json(report))
+    else:
+        print(render_diff(report, markdown=(args.format == "markdown")), end="")
+    if args.report_out:
+        Path(args.report_out).write_text(canonical_json(report) + "\n")
+        print("wrote %s" % args.report_out)
+    return 0
+
+
+def _cmd_obs_critpath(args: argparse.Namespace) -> int:
+    from repro.obs.critpath import (
+        critical_path,
+        flamegraph_lines,
+        render_critical_path,
+    )
+    from repro.obs.metrics import canonical_json
+
+    payload, _label = _load_telemetry_payload(args.source, args.store, args.run)
+    report = critical_path(payload)
+    if args.json:
+        print(canonical_json(report))
+    else:
+        print(render_critical_path(report), end="")
+    if args.flame:
+        lines = flamegraph_lines(payload)
+        Path(args.flame).write_text("".join(line + "\n" for line in lines))
+        print("wrote %d flamegraph stack(s) to %s" % (len(lines), args.flame))
+    return 0
+
+
+def _cmd_obs_check(args: argparse.Namespace) -> int:
+    from repro.obs.baseline import check_history, load_history, render_check
+    from repro.obs.metrics import canonical_json
+
+    records = load_history(args.history)
+    report = check_history(records, k=args.k, min_history=args.min_history)
+    if args.json:
+        print(canonical_json(report))
+    else:
+        print(render_check(report), end="")
+    if args.report_out:
+        Path(args.report_out).write_text(canonical_json(report) + "\n")
+        print("wrote %s" % args.report_out)
+    if args.fail_on_regression and report["summary"]["regressions"] > 0:
+        return 1
     return 0
 
 
@@ -715,6 +831,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the sweep benchmark artifact here ('' to skip)",
     )
+    p.add_argument(
+        "--baseline",
+        nargs="?",
+        const="BENCH_history.jsonl",
+        default=None,
+        metavar="PATH",
+        help="append this sweep's headline metrics to the baseline history "
+        "(default BENCH_history.jsonl when the flag is given bare); "
+        "'repro obs check' gates against it",
+    )
+    p.add_argument(
+        "--baseline-label",
+        default=None,
+        metavar="TEXT",
+        help="free-form label stored on the --baseline record "
+        "(a commit id, a date, ...)",
+    )
     p.set_defaults(fn=_cmd_figures)
 
     from repro.faults.chaos import CHAOS_MATRICES
@@ -752,6 +885,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="also validate the Chrome trace against the trace-event schema",
     )
     p.set_defaults(fn=_cmd_observe)
+
+    p = sub.add_parser(
+        "obs", help="the regression observatory (diff/critpath/check)"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    def add_obs_source_flags(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--store",
+            default=".repro-store",
+            metavar="DIR",
+            help="TraceBank to resolve run-id-prefix sources against "
+            "(default .repro-store)",
+        )
+        sp.add_argument(
+            "--run",
+            choices=("untraced", "traced"),
+            default="traced",
+            help="which side of a combined {untraced, traced} artifact to "
+            "load (default traced)",
+        )
+
+    sp = obs_sub.add_parser(
+        "diff", help="structured telemetry diff between two runs"
+    )
+    sp.add_argument("run_a_source", metavar="RUN_A",
+                    help="telemetry file or store run-id prefix (the base)")
+    sp.add_argument("run_b_source", metavar="RUN_B",
+                    help="telemetry file or store run-id prefix (the candidate)")
+    add_obs_source_flags(sp)
+    sp.add_argument("--run-a", choices=("untraced", "traced"), default=None,
+                    help="override --run for RUN_A only")
+    sp.add_argument("--run-b", choices=("untraced", "traced"), default=None,
+                    help="override --run for RUN_B only")
+    sp.add_argument("--format", choices=("text", "markdown", "json"),
+                    default="text", help="rendering (default text)")
+    sp.add_argument("--report-out", default=None, metavar="PATH",
+                    help="also write the canonical-JSON diff report here")
+    sp.set_defaults(fn=_cmd_obs_diff)
+
+    sp = obs_sub.add_parser(
+        "critpath", help="critical-path attribution + flamegraph export"
+    )
+    sp.add_argument("source", metavar="RUN",
+                    help="telemetry file or store run-id prefix")
+    add_obs_source_flags(sp)
+    sp.add_argument("--flame", default=None, metavar="PATH",
+                    help="write collapsed-stack flamegraph lines here")
+    sp.add_argument("--json", action="store_true",
+                    help="print the canonical-JSON report")
+    sp.set_defaults(fn=_cmd_obs_critpath)
+
+    sp = obs_sub.add_parser(
+        "check", help="gate the latest baseline record (median/MAD)"
+    )
+    sp.add_argument("--history", default="BENCH_history.jsonl", metavar="PATH",
+                    help="baseline history written by 'figures --baseline' "
+                    "(default BENCH_history.jsonl)")
+    sp.add_argument("--fail-on-regression", action="store_true",
+                    help="exit nonzero when any metric regressed")
+    sp.add_argument("--k", type=float, default=4.0, metavar="F",
+                    help="MAD multiplier in the change threshold (default 4)")
+    sp.add_argument("--min-history", type=int, default=2, metavar="N",
+                    help="prior records required before a series is gated "
+                    "(default 2)")
+    sp.add_argument("--json", action="store_true",
+                    help="print the canonical-JSON report")
+    sp.add_argument("--report-out", default=None, metavar="PATH",
+                    help="also write the canonical-JSON check report here")
+    sp.set_defaults(fn=_cmd_obs_check)
 
     p = sub.add_parser(
         "summarize", help="call summary of a trace file or trace-store dir"

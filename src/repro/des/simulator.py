@@ -113,10 +113,16 @@ class Simulator:
 
     @property
     def events_per_sec(self) -> float:
-        """Dispatch rate: kernel events per host second (0 before any run)."""
-        if self._wall_seconds <= 0:
+        """Dispatch rate: kernel events per host second (0 before any run).
+
+        The denominator is clamped at 1 ns: a sub-resolution run (events
+        dispatched, but ``perf_counter`` advanced by ~0 on a coarse
+        timer) reports a large finite rate rather than dividing by zero
+        or collapsing to 0.0 as if nothing ran.
+        """
+        if self._events_executed <= 0:
             return 0.0
-        return self._events_executed / self._wall_seconds
+        return self._events_executed / max(self._wall_seconds, 1e-9)
 
     @property
     def wall_time_per_sim_second(self) -> float:

@@ -166,6 +166,10 @@ class FaultRunOutcome:
     bundle: Any = None
     killed_ranks: List[int] = field(default_factory=list)
     pending_ranks: List[int] = field(default_factory=list)
+    #: Exported ``repro/telemetry/v1`` payload when the run was captured
+    #: inside a telemetry session (partial up to the failure for runs
+    #: that crashed/timed out — the interesting capture).
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 def _classify(exc: BaseException) -> Tuple[str, str]:
@@ -308,6 +312,7 @@ def _attempt_with_retries(
     seed: Optional[int],
     horizon: Optional[float],
     retries: int,
+    telemetry: bool = False,
 ) -> Tuple[FaultRunOutcome, int]:
     """Run with the exponential-backoff timeout policy.
 
@@ -315,15 +320,29 @@ def _attempt_with_retries(
     more simulated time, so give it more.  Crashes, injected errors and
     deadlocks are deterministic — re-running reproduces them exactly, so
     they terminate the attempt loop immediately.
+
+    With ``telemetry`` each attempt runs inside its own fresh session
+    (so a retried attempt's half-history never contaminates the final
+    capture) and the returned outcome carries the exported payload.
     """
     attempts = 0
     budget = horizon
     while True:
         attempts += 1
-        outcome = run_under_faults(
-            schedule, framework_factory, workload, workload_args,
-            config=config, nprocs=nprocs, seed=seed, horizon=budget,
-        )
+        if telemetry:
+            from repro.obs.tracepoints import session
+
+            with session() as col:
+                outcome = run_under_faults(
+                    schedule, framework_factory, workload, workload_args,
+                    config=config, nprocs=nprocs, seed=seed, horizon=budget,
+                )
+                outcome.telemetry = col.export(end_time=outcome.stats.elapsed)
+        else:
+            outcome = run_under_faults(
+                schedule, framework_factory, workload, workload_args,
+                config=config, nprocs=nprocs, seed=seed, horizon=budget,
+            )
         if outcome.status != "timeout" or attempts > retries:
             return outcome, attempts
         budget = (budget or CHAOS_HORIZON) * 2.0
@@ -360,10 +379,12 @@ def execute_fault_spec(spec: RunSpec) -> PointResult:
     untraced, u_attempts = _attempt_with_retries(
         schedule, None, workload, args,
         spec.config, spec.nprocs, spec.seed, spec.sim_timeout, spec.retries,
+        telemetry=spec.telemetry,
     )
     traced, t_attempts = _attempt_with_retries(
         schedule, spec.framework.build, workload, args,
         spec.config, spec.nprocs, spec.seed, spec.sim_timeout, spec.retries,
+        telemetry=spec.telemetry,
     )
     error = None
     if untraced.status != "completed":
@@ -404,11 +425,15 @@ def execute_fault_spec(spec: RunSpec) -> PointResult:
             "status": traced.status,
         },
     )
+    telemetry = None
+    if spec.telemetry:
+        telemetry = {"untraced": untraced.telemetry, "traced": traced.telemetry}
     return PointResult(
         params=spec.workload_args,
         untraced=untraced.stats,
         traced=traced.stats,
         wall_seconds=time.perf_counter() - t0,
+        telemetry=telemetry,
         error=error,
         attempts=max(u_attempts, t_attempts),
         # JSON round trip so the payload compares equal before and after a

@@ -267,20 +267,9 @@ def run_figures(
             measurements=list(chunk),
         )
         for bs, point in zip(sizes, chunk):
-            bench_points.append(
-                {
-                    "figure": figno,
-                    "block_size": bs,
-                    "wall_seconds": point.wall_seconds,
-                    "events_executed": point.events_executed,
-                    "events_per_sec": (
-                        point.events_executed / point.wall_seconds
-                        if point.wall_seconds > 0
-                        else 0.0
-                    ),
-                    "cached": point.cached,
-                }
-            )
+            row = {"figure": figno, "block_size": bs}
+            row.update(point.headline())
+            bench_points.append(row)
     # Failed (annotated) points carry zeroed numbers; keep them out of the
     # headline range so one bad point doesn't fake a 0% minimum.
     overheads = [

@@ -15,7 +15,14 @@ robustness work has data instead of guesses:
 * :mod:`repro.obs.perfetto` — Chrome trace-event JSON export (loadable in
   Perfetto / ``chrome://tracing``) plus a schema validator;
 * :mod:`repro.obs.report` — the ``repro observe`` summary report over an
-  exported payload.
+  exported payload;
+* :mod:`repro.obs.compare` — cross-run telemetry diffing (``repro obs
+  diff``): counter deltas, histogram divergence, span-tree alignment;
+* :mod:`repro.obs.critpath` — critical-path attribution: per-layer self
+  time, the slowest-rank chain, collapsed-stack flamegraph export;
+* :mod:`repro.obs.baseline` — the baseline perf sentinel:
+  ``BENCH_history.jsonl`` + median/MAD change detection behind
+  ``repro obs check``.
 
 Telemetry is deterministic: it is stamped exclusively with simulated time
 and recorded in dispatch order, so the same seed produces byte-identical
@@ -31,7 +38,19 @@ Enable it around any simulation::
         payload = col.export(end_time=...)
 """
 
-from repro.obs import metrics, perfetto, report, spans, tracepoints
+from repro.obs import (
+    baseline,
+    compare,
+    critpath,
+    metrics,
+    perfetto,
+    report,
+    spans,
+    tracepoints,
+)
+from repro.obs.baseline import append_history, check_history, make_record
+from repro.obs.compare import compare_payloads, render_diff
+from repro.obs.critpath import critical_path, flamegraph_lines
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.perfetto import to_chrome_trace, validate_chrome_trace
 from repro.obs.report import render_payload_summary, summarize_payload
@@ -44,6 +63,16 @@ __all__ = [
     "spans",
     "perfetto",
     "report",
+    "compare",
+    "critpath",
+    "baseline",
+    "compare_payloads",
+    "render_diff",
+    "critical_path",
+    "flamegraph_lines",
+    "make_record",
+    "append_history",
+    "check_history",
     "render_payload_summary",
     "summarize_payload",
     "MetricsRegistry",

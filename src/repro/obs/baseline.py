@@ -1,0 +1,283 @@
+"""The baseline perf sentinel: BENCH history + robust change detection.
+
+The ROADMAP's north star ("runs as fast as the hardware allows") needs
+the repo to notice its own regressions, and ``BENCH_sweep.json`` is a
+single point with no history.  This module closes the loop:
+
+* ``repro figures --baseline`` appends one ``repro/bench_history/v1``
+  record per sweep to an append-only ``BENCH_history.jsonl`` — per
+  figure point it keeps the headline metrics (simulated elapsed for both
+  runs, overhead %, events/sec, wall seconds, wall time per simulated
+  second);
+* ``repro obs check`` replays the history and flags the latest record's
+  deviations with **median/MAD** change detection: for each (figure,
+  block size, metric) series the latest value is compared against the
+  median of the prior records, with a threshold of
+  ``max(k * 1.4826 * MAD, rel_floor * |median|, abs_floor)``.
+
+Two metric classes get different floors.  Simulated quantities (elapsed
+seconds, overhead %) are deterministic — any drift is a real behaviour
+change, so their relative floor is tight (1%).  Host-clock quantities
+(events/sec, wall seconds) are hardware noise — their floor is wide
+(30%) and MAD carries the signal.  Direction matters: more events/sec
+is an improvement, more elapsed is a regression.
+
+``repro obs check --fail-on-regression`` exits nonzero when any metric
+regresses — the CI gate from "PR merged" to "this PR made N-to-1
+strided 12% slower at 64 KiB blocks".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import TelemetryError
+from repro.obs.metrics import canonical_json
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "CHECK_SCHEMA",
+    "METRIC_SPECS",
+    "MAD_CONSISTENCY",
+    "make_record",
+    "append_history",
+    "load_history",
+    "check_history",
+    "render_check",
+]
+
+HISTORY_SCHEMA = "repro/bench_history/v1"
+CHECK_SCHEMA = "repro/obs/check/v1"
+
+#: Normal-consistency constant: sigma ~= 1.4826 * MAD for Gaussian noise.
+MAD_CONSISTENCY = 1.4826
+
+#: Per-metric gate policy.  ``direction`` is +1 when a larger value is
+#: worse (time-like), -1 when a larger value is better (rate-like);
+#: ``rel_floor``/``abs_floor`` are the minimum meaningful change —
+#: tight for deterministic simulated quantities, wide for host-clock
+#: quantities that jitter with the machine running the sweep.
+METRIC_SPECS: Dict[str, Dict[str, float]] = {
+    "elapsed_untraced": {"direction": 1, "rel_floor": 0.01, "abs_floor": 1e-9},
+    "elapsed_traced": {"direction": 1, "rel_floor": 0.01, "abs_floor": 1e-9},
+    "overhead_pct": {"direction": 1, "rel_floor": 0.01, "abs_floor": 0.5},
+    "events_per_sec": {"direction": -1, "rel_floor": 0.30, "abs_floor": 1e3},
+    "wall_seconds": {"direction": 1, "rel_floor": 0.30, "abs_floor": 0.05},
+    "wall_time_per_sim_second": {
+        "direction": 1,
+        "rel_floor": 0.30,
+        "abs_floor": 0.05,
+    },
+}
+
+
+def make_record(
+    points: List[Dict[str, Any]],
+    quick: bool = False,
+    nprocs: Optional[int] = None,
+    jobs: Optional[int] = None,
+    label: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One history record from a sweep's headline points.
+
+    ``points`` rows are the :meth:`~repro.harness.parallel.PointResult.
+    headline` dicts the figure sweep emits (each carrying ``figure``,
+    ``block_size`` and the :data:`METRIC_SPECS` metrics).  The record is
+    canonical-JSON-normalized; no host clock is read here — callers that
+    want timestamps put them in ``label``.
+    """
+    record = {
+        "schema": HISTORY_SCHEMA,
+        "quick": bool(quick),
+        "nprocs": nprocs,
+        "jobs": jobs,
+        "label": label,
+        "points": points,
+    }
+    return json.loads(canonical_json(record))
+
+
+def append_history(path: Union[str, Path], record: Dict[str, Any]) -> int:
+    """Append one record to the JSONL history; returns its 0-based index."""
+    if record.get("schema") != HISTORY_SCHEMA:
+        raise TelemetryError(
+            "refusing to append non-%s record (schema=%r)"
+            % (HISTORY_SCHEMA, record.get("schema"))
+        )
+    p = Path(path)
+    existing = 0
+    if p.exists():
+        with p.open("r", encoding="utf-8") as fh:
+            existing = sum(1 for line in fh if line.strip())
+    with p.open("a", encoding="utf-8") as fh:
+        fh.write(canonical_json(record) + "\n")
+    return existing
+
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """All records of a JSONL history file, in append order.
+
+    Raises :class:`~repro.errors.TelemetryError` on unparseable lines or
+    foreign schemas — a corrupted history must not silently pass a gate.
+    """
+    p = Path(path)
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(p.read_text("utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise TelemetryError(
+                "%s:%d: unparseable history line (%s)" % (p, lineno, exc)
+            ) from None
+        if not isinstance(record, dict) or record.get("schema") != HISTORY_SCHEMA:
+            raise TelemetryError(
+                "%s:%d: not a %s record (schema=%r)"
+                % (p, lineno, HISTORY_SCHEMA, record.get("schema")
+                   if isinstance(record, dict) else type(record))
+            )
+        records.append(record)
+    return records
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _mad(values: List[float], center: float) -> float:
+    return _median([abs(v - center) for v in values])
+
+
+def _series(records: List[Dict[str, Any]]) -> Dict[Any, List[float]]:
+    """(figure, block_size, metric) -> value per record, append order.
+
+    A record that lacks a point for a key simply contributes nothing to
+    that series — histories survive sweeps with different shapes.
+    """
+    series: Dict[Any, List[float]] = {}
+    for record in records:
+        for point in record.get("points", []):
+            fig = point.get("figure")
+            bs = point.get("block_size")
+            for metric in METRIC_SPECS:
+                value = point.get(metric)
+                if isinstance(value, (int, float)):
+                    series.setdefault((fig, bs, metric), []).append(float(value))
+    return series
+
+
+def check_history(
+    records: List[Dict[str, Any]],
+    k: float = 4.0,
+    min_history: int = 2,
+) -> Dict[str, Any]:
+    """Gate the latest record against the prior history.
+
+    For each (figure, block_size, metric) series present in the latest
+    record, the deviation from the priors' median is compared against
+    ``max(k * 1.4826 * MAD, rel_floor * |median|, abs_floor)``.  A
+    deviation beyond the threshold in the metric's worse direction is a
+    ``regression``; in the better direction, an ``improvement``; series
+    with fewer than ``min_history`` prior values are ``insufficient-
+    history``.  Returns the canonical ``repro/obs/check/v1`` report.
+    """
+    rows: List[Dict[str, Any]] = []
+    if len(records) < 1:
+        raise TelemetryError("empty history: nothing to check")
+    for (fig, bs, metric), values in sorted(_series(records).items(),
+                                            key=lambda kv: (
+                                                str(kv[0][0]), str(kv[0][1]),
+                                                kv[0][2])):
+        latest = values[-1]
+        priors = values[:-1]
+        spec = METRIC_SPECS[metric]
+        row: Dict[str, Any] = {
+            "figure": fig,
+            "block_size": bs,
+            "metric": metric,
+            "latest": latest,
+            "n_history": len(priors),
+        }
+        if len(priors) < min_history:
+            row.update(status="insufficient-history", median=None, mad=None,
+                       threshold=None, deviation=None)
+            rows.append(row)
+            continue
+        median = _median(priors)
+        mad = _mad(priors, median)
+        threshold = max(
+            k * MAD_CONSISTENCY * mad,
+            spec["rel_floor"] * abs(median),
+            spec["abs_floor"],
+        )
+        # Positive deviation = moved in the metric's worse direction.
+        deviation = spec["direction"] * (latest - median)
+        if deviation > threshold:
+            status = "regression"
+        elif deviation < -threshold:
+            status = "improvement"
+        else:
+            status = "ok"
+        row.update(status=status, median=median, mad=mad,
+                   threshold=threshold, deviation=deviation)
+        rows.append(row)
+    regressions = [r for r in rows if r["status"] == "regression"]
+    improvements = [r for r in rows if r["status"] == "improvement"]
+    report = {
+        "schema": CHECK_SCHEMA,
+        "params": {"k": k, "mad_consistency": MAD_CONSISTENCY,
+                   "min_history": min_history},
+        "n_records": len(records),
+        "rows": rows,
+        "summary": {
+            "series": len(rows),
+            "ok": sum(1 for r in rows if r["status"] == "ok"),
+            "regressions": len(regressions),
+            "improvements": len(improvements),
+            "insufficient_history": sum(
+                1 for r in rows if r["status"] == "insufficient-history"
+            ),
+        },
+    }
+    return json.loads(canonical_json(report))
+
+
+def render_check(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`check_history` report."""
+    s = report["summary"]
+    lines: List[str] = [
+        "baseline check over %d record(s): %d series — %d ok, %d regression(s), "
+        "%d improvement(s), %d with insufficient history"
+        % (report["n_records"], s["series"], s["ok"], s["regressions"],
+           s["improvements"], s["insufficient_history"])
+    ]
+    flagged = [r for r in report["rows"] if r["status"] in ("regression",
+                                                           "improvement")]
+    if flagged:
+        lines.append(
+            "%-8s %-10s %-26s %12s %12s %12s  %s"
+            % ("figure", "blocksize", "metric", "median", "latest",
+               "threshold", "status")
+        )
+        for r in flagged:
+            pct = ""
+            if r["median"]:
+                pct = " (%+.1f%%)" % (100.0 * (r["latest"] - r["median"])
+                                      / abs(r["median"]))
+            lines.append(
+                "%-8s %-10s %-26s %12.6g %12.6g %12.6g  %s%s"
+                % (str(r["figure"]), str(r["block_size"]), r["metric"],
+                   r["median"], r["latest"], r["threshold"],
+                   r["status"].upper(), pct)
+            )
+    if s["regressions"] == 0:
+        lines.append("no regressions detected")
+    return "\n".join(lines) + "\n"

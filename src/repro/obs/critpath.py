@@ -1,0 +1,376 @@
+"""Critical-path attribution over an exported telemetry payload.
+
+The span recorder (:mod:`repro.obs.spans`) captures every dispatched call
+as a complete interval on a ``(node, rank)`` track.  This module turns
+those flat interval lists into answers about *where time went*:
+
+* :func:`build_forest` — per-track span trees recovered from interval
+  nesting (a syscall inside an MPI-IO libcall becomes its child);
+* :func:`stack_layer` — the span -> stack-layer attribution map
+  (``des`` / ``simos`` / ``network`` / ``simfs`` / ``simmpi`` /
+  ``framework``), where *self time* charged to ``simfs`` is the
+  blockdev-bound data path (read/write/fsync service time);
+* :func:`track_stats` — per-track totals: busy time, self time by span
+  name and by layer, and the track's last-completion instant;
+* :func:`critical_path` — the slowest-rank chain that bounds elapsed
+  time (the paper's N-to-1 stragglers made visible): the straggler
+  track, its per-layer self-time profile, and the root-to-leaf span
+  chain ending at the run's final completion;
+* :func:`flamegraph_lines` — collapsed-stack lines
+  (``node0;rank 1;MPI_File_open;SYS_open 42``) for any flamegraph
+  renderer, self-time-weighted in integer microseconds.
+
+Everything here is a pure function of the payload; with the simulator's
+determinism contract the output is byte-identical across ``jobs=1`` /
+``jobs=N`` / warm-cache replays of the run that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import TelemetryError
+from repro.obs.metrics import canonical_json
+from repro.obs.spans import KERNEL_PID
+
+__all__ = [
+    "CRITPATH_SCHEMA",
+    "STACK_LAYERS",
+    "DATA_SYSCALLS",
+    "SpanNode",
+    "stack_layer",
+    "payload_spans",
+    "build_forest",
+    "track_stats",
+    "critical_path",
+    "flamegraph_lines",
+    "render_critical_path",
+]
+
+CRITPATH_SCHEMA = "repro/obs/critpath/v1"
+
+#: The stack layers self time is attributed to, reporting order.
+STACK_LAYERS: Tuple[str, ...] = (
+    "des",
+    "simos",
+    "network",
+    "simfs",
+    "simmpi",
+    "framework",
+)
+
+#: Syscalls whose service time is dominated by the filesystem/blockdev
+#: data path — their self time is charged to the ``simfs`` layer.
+DATA_SYSCALLS = frozenset(
+    {"SYS_read", "SYS_write", "SYS_pread64", "SYS_pwrite64", "SYS_fsync"}
+)
+
+_US = 1e6  # Chrome trace microseconds <-> simulated seconds
+
+
+def stack_layer(cat: str, name: str, pid: Optional[int] = None) -> str:
+    """Attribute one span to a stack layer (see :data:`STACK_LAYERS`).
+
+    ``cat`` is the span category the tracepoints record (the capture
+    layer for OS calls, ``collective`` for MPI waits); ``name`` refines
+    syscalls into data-path (``simfs``) versus control-path (``simos``)
+    and libcalls into MPI (``simmpi``) versus tracer (``framework``).
+    """
+    if pid == KERNEL_PID:
+        return "des"
+    if cat == "collective":
+        return "simmpi"
+    if cat == "net":
+        return "network"
+    if cat == "vfs":
+        return "simfs"
+    if cat == "libcall":
+        return "simmpi" if name.startswith(("MPI_", "MPIO_")) else "framework"
+    if cat == "syscall":
+        return "simfs" if name in DATA_SYSCALLS else "simos"
+    return "framework"
+
+
+class SpanNode:
+    """One span in a recovered tree: interval + children + self time."""
+
+    __slots__ = ("name", "cat", "ts", "dur", "children")
+
+    def __init__(self, name: str, cat: str, ts: float, dur: float):
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.dur = dur
+        self.children: List["SpanNode"] = []
+
+    @property
+    def end(self) -> float:
+        """The span's completion instant (simulated seconds)."""
+        return self.ts + self.dur
+
+    @property
+    def self_time(self) -> float:
+        """Duration not covered by child spans (clamped at zero)."""
+        return max(0.0, self.dur - sum(c.dur for c in self.children))
+
+
+def payload_spans(
+    payload: Dict[str, Any],
+) -> List[Tuple[int, int, str, str, float, float]]:
+    """Extract ``(pid, tid, name, cat, ts, dur)`` spans (seconds) from a
+    ``repro/telemetry/v1`` payload's embedded Chrome trace.
+
+    Raises :class:`~repro.errors.TelemetryError` for non-payload input.
+    """
+    if not isinstance(payload, dict) or payload.get("schema") != "repro/telemetry/v1":
+        raise TelemetryError(
+            "not a repro/telemetry/v1 payload (schema=%r)"
+            % (payload.get("schema") if isinstance(payload, dict) else type(payload))
+        )
+    events = payload.get("trace", {}).get("traceEvents", [])
+    out = []
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        out.append(
+            (
+                int(e["pid"]),
+                int(e["tid"]),
+                str(e["name"]),
+                str(e.get("cat", "")),
+                float(e["ts"]) / _US,
+                float(e["dur"]) / _US,
+            )
+        )
+    return out
+
+
+def track_names(payload: Dict[str, Any]) -> Dict[Tuple[int, int], str]:
+    """``(pid, tid) -> display name`` from the trace's metadata events."""
+    names: Dict[Tuple[int, int], str] = {}
+    process: Dict[int, str] = {}
+    for e in payload.get("trace", {}).get("traceEvents", []):
+        if e.get("ph") != "M":
+            continue
+        if e.get("name") == "process_name":
+            process[int(e["pid"])] = str(e["args"]["name"])
+        elif e.get("name") == "thread_name":
+            names[(int(e["pid"]), int(e["tid"]))] = str(e["args"]["name"])
+    for (pid, tid), tname in list(names.items()):
+        pname = process.get(pid)
+        if pname:
+            names[(pid, tid)] = "%s %s" % (pname, tname)
+    return names
+
+
+def build_forest(
+    spans: List[Tuple[int, int, str, str, float, float]],
+) -> Dict[Tuple[int, int], List[SpanNode]]:
+    """Recover per-track span trees from flat intervals.
+
+    Spans on one track nest by interval containment (calls on a rank are
+    sequential, so a span starting inside another completes inside it).
+    Within a track, spans sort by ``(start, -duration, record order)`` —
+    a parent precedes its children, and the record order breaks exact
+    ties deterministically.
+    """
+    by_track: Dict[Tuple[int, int], List[Tuple[float, float, int, str, str]]] = {}
+    for seq, (pid, tid, name, cat, ts, dur) in enumerate(spans):
+        by_track.setdefault((pid, tid), []).append((ts, -dur, seq, name, cat))
+    forest: Dict[Tuple[int, int], List[SpanNode]] = {}
+    for track in sorted(by_track):
+        roots: List[SpanNode] = []
+        stack: List[SpanNode] = []
+        for ts, neg_dur, _seq, name, cat in sorted(by_track[track]):
+            node = SpanNode(name, cat, ts, -neg_dur)
+            while stack and node.ts >= stack[-1].end and not (
+                node.dur == 0.0 and node.ts == stack[-1].end and stack[-1].dur > 0.0
+            ):
+                stack.pop()
+            if stack:
+                stack[-1].children.append(node)
+            else:
+                roots.append(node)
+            stack.append(node)
+        forest[track] = roots
+    return forest
+
+
+def _walk(node: SpanNode):
+    yield node
+    for child in node.children:
+        yield from _walk(child)
+
+
+def track_stats(payload: Dict[str, Any]) -> Dict[Tuple[int, int], Dict[str, Any]]:
+    """Per-track rollup: busy/self totals, layer and name attribution.
+
+    Returns ``(pid, tid) ->`` a dict with ``busy`` (root span seconds),
+    ``end`` (last completion), ``layers`` (layer -> self seconds) and
+    ``names`` (span name -> ``{count, total, self}``).
+    """
+    forest = build_forest(payload_spans(payload))
+    stats: Dict[Tuple[int, int], Dict[str, Any]] = {}
+    for track, roots in forest.items():
+        pid, _tid = track
+        layers: Dict[str, float] = {}
+        names: Dict[str, Dict[str, float]] = {}
+        end = 0.0
+        busy = 0.0
+        for root in roots:
+            busy += root.dur
+            for node in _walk(root):
+                end = max(end, node.end)
+                layer = stack_layer(node.cat, node.name, pid)
+                layers[layer] = layers.get(layer, 0.0) + node.self_time
+                cell = names.setdefault(
+                    node.name, {"count": 0, "total": 0.0, "self": 0.0}
+                )
+                cell["count"] += 1
+                cell["total"] += node.dur
+                cell["self"] += node.self_time
+        stats[track] = {"busy": busy, "end": end, "layers": layers, "names": names}
+    return stats
+
+
+def critical_path(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The slowest-rank chain bounding elapsed time, as a plain report.
+
+    The *straggler* is the track whose last span completes latest (ties
+    break toward the smallest ``(node, rank)``); the *chain* is the
+    root-to-leaf span path ending at that completion — each link carries
+    its layer attribution and self time, so the report names both the
+    straggler rank and the layer that kept it busy.
+    """
+    spans = payload_spans(payload)
+    forest = build_forest(spans)
+    stats = track_stats(payload)
+    labels = track_names(payload)
+
+    tracks_report = []
+    total_layers: Dict[str, float] = {}
+    for track in sorted(stats):
+        pid, tid = track
+        s = stats[track]
+        for layer, t in s["layers"].items():
+            total_layers[layer] = total_layers.get(layer, 0.0) + t
+        tracks_report.append(
+            {
+                "node": pid,
+                "rank": tid,
+                "track": labels.get(track, "node%d rank %d" % (pid, tid)),
+                "busy": s["busy"],
+                "end": s["end"],
+                "layers": {k: v for k, v in sorted(s["layers"].items())},
+            }
+        )
+
+    straggler = None
+    chain: List[Dict[str, Any]] = []
+    end_time = 0.0
+    if stats:
+        # max end; ties resolve to the smallest (pid, tid) for determinism.
+        track = min(stats, key=lambda t: (-stats[t]["end"], t))
+        end_time = stats[track]["end"]
+        pid, tid = track
+        straggler = {
+            "node": pid,
+            "rank": tid,
+            "track": labels.get(track, "node%d rank %d" % (pid, tid)),
+            "end": end_time,
+        }
+        # Descend from the root whose subtree reaches the final instant.
+        level = forest[track]
+        while level:
+            node = min(level, key=lambda n: (-n.end, -n.ts, n.name))
+            chain.append(
+                {
+                    "name": node.name,
+                    "cat": node.cat,
+                    "layer": stack_layer(node.cat, node.name, pid),
+                    "ts": node.ts,
+                    "dur": node.dur,
+                    "self": node.self_time,
+                }
+            )
+            level = node.children
+
+    report = {
+        "schema": CRITPATH_SCHEMA,
+        "end_time": end_time,
+        "n_spans": len(spans),
+        "tracks": tracks_report,
+        "straggler": straggler,
+        "chain": chain,
+        "layers": {k: v for k, v in sorted(total_layers.items())},
+    }
+    return json.loads(canonical_json(report))
+
+
+def flamegraph_lines(payload: Dict[str, Any]) -> List[str]:
+    """Collapsed-stack flamegraph lines, self-time-weighted (microseconds).
+
+    Each line is ``frame;frame;... value`` — the format every flamegraph
+    renderer (Brendan Gregg's scripts, speedscope, inferno) consumes.
+    The first two frames are the node and rank tracks, then the span
+    chain.  Values are integer microseconds of *self* time; zero-weight
+    stacks are dropped.  Output is sorted, so it is byte-stable for
+    byte-identical payloads.
+    """
+    forest = build_forest(payload_spans(payload))
+    labels = track_names(payload)
+    weights: Dict[str, int] = {}
+
+    def add(prefix: str, node: SpanNode) -> None:
+        stack = "%s;%s" % (prefix, node.name)
+        us = int(round(node.self_time * _US))
+        if us > 0:
+            weights[stack] = weights.get(stack, 0) + us
+        for child in node.children:
+            add(stack, child)
+
+    for (pid, tid), roots in sorted(forest.items()):
+        label = labels.get((pid, tid))
+        if label:
+            prefix = label.replace(";", ",")
+        else:
+            prefix = "node%d;rank %d" % (pid, tid)
+        for root in roots:
+            add(prefix, root)
+    return ["%s %d" % (stack, us) for stack, us in sorted(weights.items())]
+
+
+def render_critical_path(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`critical_path` report."""
+    lines: List[str] = []
+    title = "critical path (%d spans, elapsed %.6f s)" % (
+        report["n_spans"],
+        report["end_time"],
+    )
+    lines.append(title)
+    lines.append("=" * len(title))
+    layers = report["layers"]
+    if layers:
+        lines.append("self time by layer (all ranks):")
+        for layer in STACK_LAYERS:
+            if layer in layers:
+                lines.append("  %-12s %12.6f s" % (layer, layers[layer]))
+    straggler = report["straggler"]
+    if straggler is None:
+        lines.append("no spans recorded — nothing to attribute")
+        lines.append("(telemetry captured without spans? re-run with --telemetry)")
+        return "\n".join(lines) + "\n"
+    lines.append(
+        "straggler: %s (finishes last at %.6f s)"
+        % (straggler["track"], straggler["end"])
+    )
+    if report["chain"]:
+        lines.append("slowest-rank chain (root -> leaf):")
+        for depth, link in enumerate(report["chain"]):
+            lines.append(
+                "  %s%-28s %-10s dur=%.6f self=%.6f"
+                % ("  " * depth, link["name"], link["layer"], link["dur"],
+                   link["self"])
+            )
+    return "\n".join(lines) + "\n"

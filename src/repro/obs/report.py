@@ -93,6 +93,14 @@ def render_payload_summary(payload: Dict[str, Any], label: str = "") -> str:
             s["n_counter_samples"],
         )
     )
+    if s["n_spans"] == 0:
+        # An empty span table is almost always a capture-config problem,
+        # not an empty run — say so instead of printing nothing.
+        lines.append(
+            "no spans recorded — telemetry captured without spans? "
+            "(TelemetryConfig(spans=True) is the default; sweeps record "
+            "them under --telemetry)"
+        )
     mix = {
         k: v
         for k, v in s["counters"].items()

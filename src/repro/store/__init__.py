@@ -33,7 +33,13 @@ from repro.store.bank import (
 from repro.store.dfg import build_dfg, render_dfg_dot, render_dfg_text
 from repro.store.index import ManifestIndex
 from repro.store.manifest import MANIFEST_SCHEMA, RunManifest, compute_run_id
-from repro.store.query import AGGREGATES, Query, run_query, scan_events
+from repro.store.query import (
+    AGGREGATES,
+    Query,
+    run_query,
+    scan_events,
+    telemetry_view,
+)
 from repro.store.segments import SegmentMeta, content_address
 
 __all__ = [
@@ -55,4 +61,5 @@ __all__ = [
     "render_store_summary",
     "run_query",
     "scan_events",
+    "telemetry_view",
 ]

@@ -37,7 +37,7 @@ from repro.store.bank import TraceBank
 from repro.store.manifest import RunManifest
 from repro.trace.events import TraceEvent
 
-__all__ = ["AGGREGATES", "Query", "run_query", "scan_events"]
+__all__ = ["AGGREGATES", "Query", "run_query", "scan_events", "telemetry_view"]
 
 #: The supported ``Query.agg`` values.
 AGGREGATES: Tuple[str, ...] = ("events", "ops", "bytes", "bandwidth")
@@ -384,3 +384,56 @@ def scan_events(
     """Convenience: the ``events`` aggregate's globally ordered rows."""
     report = run_query(bank, replace(query, agg="events"), jobs=jobs)
     return report["result"]["events"]
+
+
+def telemetry_view(bank: TraceBank, run_id: str) -> Dict[str, Any]:
+    """Synthesize a ``repro/telemetry/v1`` payload from an archived run.
+
+    Lets ``repro obs diff``/``critpath`` address runs by TraceBank run-id
+    prefix even when they were archived without ``--telemetry``: the
+    archived :class:`~repro.trace.events.TraceEvent` records are replayed
+    into a fresh metrics registry and span recorder exactly the way the
+    live ``os_call`` tracepoint would have recorded them (per-layer call
+    counters, call-seconds and request-bytes histograms, one span per
+    call on a ``(node, rank)`` track).  Only what the trace captured is
+    reconstructed — DES/network/disk internals of the original run are
+    absent, which is fine for diffing what the *frameworks* saw.
+
+    Purely content-derived, so the payload is byte-identical wherever
+    and whenever the view is built.  Raises
+    :class:`~repro.errors.StoreError` on unknown/ambiguous prefixes.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.perfetto import to_chrome_trace
+    from repro.obs.spans import SpanRecorder
+
+    m = bank.manifest(run_id)
+    rows = list(bank.iter_run_events(m.run_id))
+    hostnames = sorted({e.hostname or ("rank%d" % rank) for rank, e in rows})
+    node_index = {h: i for i, h in enumerate(hostnames)}
+
+    registry = MetricsRegistry()
+    recorder = SpanRecorder()
+    end_time = 0.0
+    for rank, e in rows:
+        host = e.hostname or ("rank%d" % rank)
+        pid = node_index[host]
+        layer = e.layer.value
+        registry.inc("os.calls.%s" % layer)
+        registry.inc("os.%s.%s" % (layer, e.name))
+        registry.observe("os.call_seconds", e.duration)
+        if e.nbytes is not None:
+            registry.observe("os.io_request_bytes", e.nbytes)
+        recorder.name_track(pid, "node%d %s" % (pid, host), rank,
+                            "rank %d" % rank)
+        args = {"nbytes": e.nbytes} if e.nbytes is not None else None
+        recorder.complete(pid, rank, e.name, layer, e.timestamp, e.duration,
+                          args)
+        end_time = max(end_time, e.timestamp + e.duration)
+    payload = {
+        "schema": "repro/telemetry/v1",
+        "metrics": registry.snapshot(end_time=end_time),
+        "trace": to_chrome_trace(recorder),
+        "source": {"kind": "store", "run_id": m.run_id},
+    }
+    return json.loads(canonical_json(payload))

@@ -504,3 +504,21 @@ def test_wall_time_accumulates_across_runs():
     assert first > 0.0
     sim.run_fast()
     assert sim.wall_seconds > first
+
+
+def test_events_per_sec_clamps_sub_resolution_wall_time():
+    # Regression: a run whose events all dispatch inside one timer tick
+    # (wall_seconds ~ 0) must report a large finite rate, not divide by
+    # zero or pretend nothing ran.
+    sim = Simulator()
+    sim._events_executed = 1000
+    sim._wall_seconds = 0.0
+    assert sim.events_per_sec == pytest.approx(1000 / 1e-9)
+    sim._wall_seconds = 2.0
+    assert sim.events_per_sec == pytest.approx(500.0)
+
+
+def test_events_per_sec_is_zero_before_any_dispatch():
+    sim = Simulator()
+    sim._wall_seconds = 0.5  # wall time without events stays a zero rate
+    assert sim.events_per_sec == 0.0

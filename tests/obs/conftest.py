@@ -1,0 +1,6 @@
+"""Pytest path setup for the obs tests' shared ``obsutil`` helpers."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

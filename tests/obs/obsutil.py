@@ -1,0 +1,36 @@
+"""Shared builders for the observatory (compare/critpath) tests.
+
+Hand-built payloads (no simulator runs) keep the unit tests fast; the
+builders go through the real producers (:class:`SpanRecorder`,
+:class:`MetricsRegistry`, :func:`to_chrome_trace`) so the synthetic
+payloads have exactly the live export's shape.
+"""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry, canonical_json
+from repro.obs.perfetto import to_chrome_trace
+from repro.obs.spans import SpanRecorder
+
+
+def make_payload(spans=(), counters=None, observations=None, end_time=None):
+    """A ``repro/telemetry/v1`` payload from ``(pid, tid, name, cat, ts,
+    dur)`` spans plus optional counters / histogram observations."""
+    rec = SpanRecorder()
+    last = 0.0
+    for pid, tid, name, cat, ts, dur in spans:
+        rec.name_track(pid, "node%d host%02d" % (pid, pid), tid, "rank %d" % tid)
+        rec.complete(pid, tid, name, cat, ts, dur)
+        last = max(last, ts + dur)
+    reg = MetricsRegistry()
+    for cname, value in (counters or {}).items():
+        reg.inc(cname, value)
+    for hname, values in (observations or {}).items():
+        for v in values:
+            reg.observe(hname, v)
+    payload = {
+        "schema": "repro/telemetry/v1",
+        "metrics": reg.snapshot(end_time=last if end_time is None else end_time),
+        "trace": to_chrome_trace(rec),
+    }
+    return json.loads(canonical_json(payload))

@@ -1,0 +1,152 @@
+"""Baseline perf sentinel: history round-trip and median/MAD gating."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.baseline import (
+    CHECK_SCHEMA,
+    HISTORY_SCHEMA,
+    METRIC_SPECS,
+    append_history,
+    check_history,
+    load_history,
+    make_record,
+    render_check,
+)
+from repro.obs.metrics import canonical_json
+
+
+def _record(elapsed_traced=1.0, events_per_sec=1e6, **extra):
+    point = {
+        "figure": 2,
+        "block_size": 65536,
+        "elapsed_untraced": 0.5,
+        "elapsed_traced": elapsed_traced,
+        "overhead_pct": 100.0 * (elapsed_traced / 0.5 - 1.0),
+        "events_per_sec": events_per_sec,
+        "wall_seconds": 0.25,
+        "wall_time_per_sim_second": 0.2,
+    }
+    point.update(extra)
+    return make_record([point], quick=True, nprocs=4, jobs=1)
+
+
+class TestHistoryFile:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        assert append_history(path, _record(1.0)) == 0
+        assert append_history(path, _record(1.1)) == 1
+        records = load_history(path)
+        assert len(records) == 2
+        assert all(r["schema"] == HISTORY_SCHEMA for r in records)
+        assert records[1]["points"][0]["elapsed_traced"] == 1.1
+
+    def test_records_are_canonical_and_clock_free(self):
+        record = _record()
+        assert canonical_json(record) == canonical_json(
+            json.loads(canonical_json(record))
+        )
+        assert "timestamp" not in record  # callers stamp via label only
+        assert record["label"] is None
+
+    def test_append_refuses_foreign_schema(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            append_history(tmp_path / "h.jsonl", {"schema": "nope", "points": []})
+
+    def test_load_rejects_unparseable_line(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(canonical_json(_record()) + "\n{not json\n")
+        with pytest.raises(TelemetryError, match="unparseable"):
+            load_history(path)
+
+    def test_load_rejects_foreign_schema_line(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"schema": "other/v1"}\n')
+        with pytest.raises(TelemetryError, match="not a"):
+            load_history(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(canonical_json(_record()) + "\n\n")
+        assert len(load_history(path)) == 1
+
+
+class TestCheckHistory:
+    def _statuses(self, report):
+        return {r["metric"]: r["status"] for r in report["rows"]}
+
+    def test_stable_history_is_all_ok(self):
+        report = check_history([_record(1.0)] * 4)
+        assert report["schema"] == CHECK_SCHEMA
+        assert report["summary"]["regressions"] == 0
+        assert set(self._statuses(report).values()) == {"ok"}
+        assert set(self._statuses(report)) == set(METRIC_SPECS)
+
+    def test_elapsed_increase_is_a_regression(self):
+        report = check_history([_record(1.0)] * 3 + [_record(1.2)])
+        statuses = self._statuses(report)
+        assert statuses["elapsed_traced"] == "regression"
+        assert statuses["overhead_pct"] == "regression"
+        assert statuses["elapsed_untraced"] == "ok"
+        assert report["summary"]["regressions"] >= 2
+
+    def test_elapsed_decrease_is_an_improvement(self):
+        report = check_history([_record(1.0)] * 3 + [_record(0.8)])
+        assert self._statuses(report)["elapsed_traced"] == "improvement"
+        assert report["summary"]["regressions"] == 0
+
+    def test_rate_metric_direction_is_inverted(self):
+        # Fewer events/sec is the regression for rate-like metrics.
+        slower = check_history(
+            [_record(events_per_sec=1e6)] * 3 + [_record(events_per_sec=5e5)]
+        )
+        assert self._statuses(slower)["events_per_sec"] == "regression"
+        faster = check_history(
+            [_record(events_per_sec=1e6)] * 3 + [_record(events_per_sec=2e6)]
+        )
+        assert self._statuses(faster)["events_per_sec"] == "improvement"
+
+    def test_host_clock_jitter_stays_inside_the_floor(self):
+        # 20% wall-clock wobble is hardware noise (rel_floor=0.30), not a
+        # regression — the deterministic metrics still gate tightly.
+        report = check_history(
+            [_record()] * 3 + [_record(wall_seconds=0.3)]
+        )
+        assert self._statuses(report)["wall_seconds"] == "ok"
+
+    def test_short_history_is_flagged_not_gated(self):
+        report = check_history([_record(1.0), _record(9.9)])
+        assert set(self._statuses(report).values()) == {"insufficient-history"}
+        assert report["summary"]["regressions"] == 0
+        assert report["summary"]["insufficient_history"] == len(METRIC_SPECS)
+
+    def test_empty_history_raises(self):
+        with pytest.raises(TelemetryError):
+            check_history([])
+
+    def test_mad_widens_the_threshold_for_noisy_series(self):
+        # A series that historically swings by 50% has a wide MAD: the
+        # same +20% move that gates a stable series passes here.
+        noisy = [_record(1.0), _record(1.5), _record(0.9), _record(1.6)]
+        report = check_history(noisy + [_record(1.2)])
+        assert self._statuses(report)["elapsed_traced"] == "ok"
+
+    def test_report_is_canonical(self):
+        records = [_record(1.0)] * 3 + [_record(1.2)]
+        assert canonical_json(check_history(records)) == canonical_json(
+            check_history(records)
+        )
+
+
+class TestRenderCheck:
+    def test_regression_rows_are_shown(self):
+        text = render_check(check_history([_record(1.0)] * 3 + [_record(1.2)]))
+        assert "REGRESSION" in text
+        assert "elapsed_traced" in text
+        assert "(+20.0%)" in text
+
+    def test_clean_history_says_so(self):
+        text = render_check(check_history([_record(1.0)] * 4))
+        assert "no regressions detected" in text

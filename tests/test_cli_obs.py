@@ -1,0 +1,230 @@
+"""CLI observatory flow: figures --baseline, obs diff/critpath/check."""
+
+import contextlib
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.baseline import append_history, make_record
+from repro.obs.metrics import canonical_json
+
+
+@contextlib.contextmanager
+def chdir(path):
+    old = os.getcwd()
+    os.chdir(path)
+    try:
+        yield
+    finally:
+        os.chdir(old)
+
+
+@pytest.fixture(scope="module")
+def sweep_dir(tmp_path_factory):
+    """One quick baselined + archived figures sweep shared by the module."""
+    root = tmp_path_factory.mktemp("obs-run")
+    with chdir(root):
+        assert (
+            main(
+                [
+                    "figures",
+                    "--quick",
+                    "--jobs",
+                    "2",
+                    "--no-cache",
+                    "--telemetry",
+                    "--store",
+                    "--baseline",
+                    "--bench-out",
+                    "",
+                ]
+            )
+            == 0
+        )
+    return root
+
+
+def _history_record(elapsed_traced=1.0):
+    return make_record(
+        [
+            {
+                "figure": 2,
+                "block_size": 65536,
+                "elapsed_untraced": 0.5,
+                "elapsed_traced": elapsed_traced,
+                "overhead_pct": 100.0 * (elapsed_traced / 0.5 - 1.0),
+                "events_per_sec": 1e6,
+                "wall_seconds": 0.25,
+                "wall_time_per_sim_second": 0.2,
+            }
+        ],
+        quick=True,
+        nprocs=4,
+        jobs=1,
+    )
+
+
+class TestFiguresBaseline:
+    def test_history_record_appended(self, sweep_dir):
+        lines = (sweep_dir / "BENCH_history.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["schema"] == "repro/bench_history/v1"
+        assert record["quick"] is True
+        # 3 figures x 2 quick block sizes.
+        assert len(record["points"]) == 6
+        assert all("elapsed_traced" in p for p in record["points"])
+
+    def test_check_flags_single_record_as_insufficient(self, sweep_dir, capsys):
+        with chdir(sweep_dir):
+            assert main(["obs", "check"]) == 0
+        out = capsys.readouterr().out
+        assert "insufficient history" in out
+        assert "no regressions detected" in out
+
+
+class TestObsDiff:
+    def test_untraced_vs_traced_names_the_tracer(self, sweep_dir, capsys):
+        artifact = sweep_dir / "telemetry" / "fig2_bs65536.telemetry.json"
+        assert (
+            main(
+                [
+                    "obs",
+                    "diff",
+                    str(artifact),
+                    str(artifact),
+                    "--run-a",
+                    "untraced",
+                    "--run-b",
+                    "traced",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "telemetry diff: fig2_bs65536.telemetry.json:untraced" in out
+        assert "dominant self-time delta" in out
+
+    def test_identical_sides_diff_to_zero(self, sweep_dir, capsys):
+        artifact = sweep_dir / "telemetry" / "fig2_bs65536.telemetry.json"
+        assert main(["obs", "diff", str(artifact), str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "(+0.000000 s)" in out
+        assert "(no counter differences)" in out
+
+    def test_formats_and_report_out(self, sweep_dir, capsys, tmp_path):
+        artifact = sweep_dir / "telemetry" / "fig4_bs65536.telemetry.json"
+        report_path = tmp_path / "diff.json"
+        args = [
+            "obs", "diff", str(artifact), str(artifact),
+            "--run-a", "untraced", "--run-b", "traced",
+        ]
+        assert main(args + ["--format", "markdown"]) == 0
+        assert capsys.readouterr().out.startswith("# telemetry diff")
+        assert main(args + ["--format", "json",
+                            "--report-out", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro/obs/diff/v1"
+        assert out.splitlines()[0] == canonical_json(report)
+
+    def test_store_prefix_sources(self, sweep_dir, capsys):
+        from repro.store import TraceBank
+
+        ids = TraceBank(sweep_dir / ".repro-store", create=False).run_ids()
+        assert len(ids) == 6  # one archived traced run per sweep point
+        assert (
+            main(
+                [
+                    "obs",
+                    "diff",
+                    ids[0][:12],
+                    ids[1][:12],
+                    "--store",
+                    str(sweep_dir / ".repro-store"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "telemetry diff: store:%s" % ids[0][:12] in out
+
+    def test_missing_source_is_an_error(self, tmp_path, capsys):
+        assert main(["obs", "diff", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObsCritpath:
+    def test_report_and_flamegraph_export(self, sweep_dir, capsys, tmp_path):
+        artifact = sweep_dir / "telemetry" / "fig2_bs65536.telemetry.json"
+        flame = tmp_path / "flame.txt"
+        assert main(["obs", "critpath", str(artifact),
+                     "--flame", str(flame)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path (" in out
+        assert "straggler:" in out
+        assert "self time by layer" in out
+        stacks = flame.read_text().splitlines()
+        assert stacks and stacks == sorted(stacks)
+        assert all(s.rsplit(" ", 1)[1].isdigit() for s in stacks)
+
+    def test_json_report_is_canonical(self, sweep_dir, capsys):
+        artifact = sweep_dir / "telemetry" / "fig3_bs65536.telemetry.json"
+        assert main(["obs", "critpath", str(artifact), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro/obs/critpath/v1"
+        assert report["straggler"] is not None
+
+
+class TestObsCheck:
+    def test_fail_on_regression_gates(self, tmp_path, capsys):
+        history = tmp_path / "h.jsonl"
+        for _ in range(3):
+            append_history(history, _history_record(1.0))
+        append_history(history, _history_record(1.3))
+        assert main(["obs", "check", "--history", str(history)]) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+        assert main(["obs", "check", "--history", str(history),
+                     "--fail-on-regression"]) == 1
+
+    def test_clean_history_passes_the_gate(self, tmp_path, capsys):
+        history = tmp_path / "h.jsonl"
+        for _ in range(4):
+            append_history(history, _history_record(1.0))
+        assert main(["obs", "check", "--history", str(history),
+                     "--fail-on-regression", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["regressions"] == 0
+
+    def test_missing_history_is_an_error(self, tmp_path, capsys):
+        assert main(["obs", "check", "--history",
+                     str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_history_is_an_error(self, tmp_path, capsys):
+        bad = tmp_path / "h.jsonl"
+        bad.write_text("{broken\n")
+        assert main(["obs", "check", "--history", str(bad)]) == 1
+        assert "unparseable" in capsys.readouterr().err
+
+
+class TestObserveHint:
+    def test_zero_span_payload_gets_guidance(self, tmp_path, capsys):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.perfetto import to_chrome_trace
+        from repro.obs.spans import SpanRecorder
+
+        reg = MetricsRegistry()
+        reg.inc("des.events_dispatched", 5)
+        payload = {
+            "schema": "repro/telemetry/v1",
+            "metrics": reg.snapshot(end_time=1.0),
+            "trace": to_chrome_trace(SpanRecorder()),
+        }
+        path = tmp_path / "spanless.telemetry.json"
+        path.write_text(canonical_json(payload))
+        assert main(["observe", str(path)]) == 0
+        assert "no spans recorded" in capsys.readouterr().out
