@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator
 
-from repro.des.events import Timeout
 from repro.des.resources import Resource
 from repro.obs.tracepoints import STATE as _TELEMETRY
 from repro.units import MiB
@@ -74,7 +73,7 @@ class Network:
         time, then waits propagation latency.  Use with ``yield from``.
         """
         serialization = self.transfer_time(nbytes)
-        plane = getattr(self.sim, "fault_plane", None)
+        plane = self.sim.fault_plane
         if plane is not None:
             # Partition stalls, latency spikes and packet-drop retransmits
             # happen before the NIC is held, so degraded senders don't
@@ -91,7 +90,7 @@ class Network:
                 col.net_fabric(self.sim.now, self.fabric.in_use)
             try:
                 if serialization > 0:
-                    yield Timeout(serialization)
+                    yield serialization
             finally:
                 self.fabric.release()
                 if col is not None:
@@ -101,7 +100,7 @@ class Network:
             if col is not None:
                 col.net_nic(sender_nic.name, self.sim.now, sender_nic.in_use)
         if self.config.latency > 0:
-            yield Timeout(self.config.latency)
+            yield self.config.latency
         self._bytes_moved += nbytes
         self._messages += 1
         if col is not None:

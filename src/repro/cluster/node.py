@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator
 
-from repro.des.events import Timeout
 from repro.des.resources import Resource
 from repro.cluster.clock import Clock
 from repro.units import MiB
@@ -85,7 +84,7 @@ class Node:
         ``yield from``.
         """
         if seconds > 0:
-            yield Timeout(seconds * self.cpu_factor)
+            yield seconds * self.cpu_factor
 
     def copy_cost(self, nbytes: int) -> float:
         """Unscaled CPU seconds to copy ``nbytes`` between user and kernel.

@@ -3,8 +3,13 @@
 A process body is a plain Python generator.  It makes progress by yielding
 commands to the kernel:
 
+``yield dt`` (a bare ``float`` or ``int``)
+    suspend for ``dt`` simulated seconds — the no-allocation fast path
+    the simulated OS/FS/MPI layers use on their hot paths (no
+    :class:`~repro.des.events.Timeout` object, no argument-tuple
+    allocation);
 ``yield Timeout(dt)``
-    suspend for ``dt`` simulated seconds;
+    the same, carrying an optional resume value;
 ``yield completion``
     suspend until the :class:`~repro.des.events.Completion` settles; the
     yield expression evaluates to its value (or raises its failure);
@@ -21,10 +26,14 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.des.events import AllOf, AnyOf, Completion, Timeout
+from repro.des.events import AllOf, AnyOf, Completion, Timeout, _PENDING
 from repro.errors import ProcessError
 
 __all__ = ["Process"]
+
+#: Shared resume-args tuple for valueless timeouts (bare-number yields):
+#: every such resume sends None, so one tuple serves them all.
+_RESUME_NONE = (None,)
 
 
 class Process:
@@ -85,6 +94,8 @@ class Process:
         w = self._waiting_on
         if w is None or type(w) is str:
             return w
+        if isinstance(w, (float, int)):
+            return "timeout(%g)" % w
         if isinstance(w, Timeout):
             return "timeout(%g)" % w.delay
         if isinstance(w, Completion):
@@ -99,7 +110,11 @@ class Process:
 
     def _resume_send(self, value: Any) -> None:
         """Resume the generator with ``value`` from the settled command."""
-        if not self.alive:  # cancelled/interrupted after scheduling
+        # Inline of ``not self.alive`` (cancelled/interrupted after
+        # scheduling): this runs once per kernel event, so the two
+        # property descriptor hops are worth skipping.
+        completion = self.completion
+        if completion._value is not _PENDING or completion._exception is not None:
             return
         try:
             command = self._gen.send(value)
@@ -113,7 +128,8 @@ class Process:
 
     def _resume_throw(self, exc: BaseException) -> None:
         """Resume the generator by throwing ``exc`` at the yield point."""
-        if not self.alive:
+        completion = self.completion
+        if completion._value is not _PENDING or completion._exception is not None:
             return
         try:
             command = self._gen.throw(exc)
@@ -134,7 +150,20 @@ class Process:
         # ``schedule()`` wrapper's re-check is redundant.  Exact-type tests
         # keep subclasses on the general isinstance path below.
         cls = command.__class__
-        if cls is Timeout:
+        if cls is float or cls is int:
+            # Bare-number sleep: no Timeout object, no args tuple — the
+            # shared ``_RESUME_NONE`` singleton carries the None resume
+            # value for every valueless timeout in the system.
+            if command >= 0:
+                self._waiting_on = command
+                sim = self._sim
+                sim._queue.push(sim._now + command, self._resume_send, _RESUME_NONE)
+            else:
+                exc = ProcessError(
+                    "process %r yielded negative sleep %r" % (self.name, command)
+                )
+                self._sim.schedule(0.0, self._resume_throw, exc)
+        elif cls is Timeout:
             self._waiting_on = command
             sim = self._sim
             sim._queue.push(sim._now + command.delay, self._resume_send, (command.value,))

@@ -9,12 +9,18 @@ blocked process's wait reason, and (when telemetry is on) the last
 dispatched events — silent hangs are the worst failure mode of a
 simulated cluster, so they are loud here.
 
-Two run loops are provided.  :meth:`Simulator.run` validates every event
-against backwards time travel; :meth:`Simulator.run_fast` performs that
-check only for the first ``check_first`` events and then drops it from
-the hot loop.  Both dispatch exactly the same events in exactly the same
-order — the fast loop changes per-event overhead, never history — so
-``events_executed`` fingerprints are identical between them.
+Two run loops are provided, both draining the calendar-bucket queue
+(:mod:`repro.des.queue`) one same-timestamp **batch** at a time: the
+heap is touched once per distinct simulated instant, and every event
+sharing that instant dispatches from a flat list — zero-delay cascades
+(completion settling, process starts) never re-enter heap discipline.
+:meth:`Simulator.run` validates every batch against backwards time
+travel; :meth:`Simulator.run_fast` performs that check only for the
+first ``check_first`` events and then drops it from the hot loop.  Both
+dispatch exactly the same events in exactly the same order — batching
+changes per-event overhead, never history — so ``events_executed``
+fingerprints are identical between them (and with the pre-columnar
+one-heap-entry-per-event kernel).
 
 When a telemetry session (:mod:`repro.obs.tracepoints`) is active, both
 entry points route to a third loop, :meth:`Simulator._run_observed`,
@@ -32,7 +38,6 @@ snapshots, which must stay deterministic.)
 
 from __future__ import annotations
 
-from heapq import heappop
 from time import perf_counter
 from typing import Any, Callable, Generator, Optional
 
@@ -204,25 +209,39 @@ class Simulator:
         col = _TELEMETRY.collector
         if col is not None:
             return self._run_observed(until, col)
-        # Hot loop: the queue's raw heap and heappop are hoisted to locals
-        # so each event costs two fewer attribute lookups.
-        heap = self._queue._heap
-        pop = heappop
+        # Hot loop: the queue's time heap and bucket table are hoisted to
+        # locals, and each distinct timestamp is drained as one batch.
+        queue = self._queue
+        times = queue._times
+        buckets = queue._buckets
+        release = queue.release_bucket
         executed = 0
         t0_wall = perf_counter()
         try:
-            while heap:
-                if until is not None and heap[0][0] > until:
+            while times:
+                t = times[0]
+                if until is not None and t > until:
                     self._now = until
                     return until
-                t, _seq, callback, args = pop(heap)
                 if t < self._now:
                     raise SimTimeError(
                         "event queue went backwards: %r < %r" % (t, self._now)
                     )
                 self._now = t
-                executed += 1
-                callback(*args)
+                bucket = buckets[t]
+                i = bucket[0]
+                try:
+                    # Callbacks may append same-time events to the live
+                    # bucket; re-reading len() each step drains them too.
+                    # Buckets are flat [cursor, cb, args, cb, args, ...].
+                    while i < len(bucket):
+                        callback = bucket[i]
+                        args = bucket[i + 1]
+                        i += 2
+                        executed += 1
+                        callback(*args)
+                finally:
+                    release(t, bucket, i)
         finally:
             self._events_executed += executed
             self._wall_seconds += perf_counter() - t0_wall
@@ -236,30 +255,47 @@ class Simulator:
         The check is a pure sanity assertion — it never alters dispatch
         order — so this loop produces byte-identical histories and
         ``events_executed`` fingerprints while shaving a comparison and a
-        branch off every event past the warm-up window.  Scheduling bugs
+        branch off every batch past the warm-up window.  Scheduling bugs
         that push events into the past are still caught during the window
         (and by :meth:`run`, which the test suite exercises throughout).
+
+        The ``until`` horizon is handled by :meth:`~repro.des.queue.
+        EventQueue.peek_time`: the boundary batch is peeked, never popped,
+        so stopping at a horizon and resuming later costs nothing — no
+        pop-then-reschedule churn at the boundary.
         """
         col = _TELEMETRY.collector
         if col is not None:
             return self._run_observed(until, col)
-        heap = self._queue._heap
-        pop = heappop
+        queue = self._queue
+        times = queue._times
+        buckets = queue._buckets
+        release = queue.release_bucket
+        peek_time = queue.peek_time
         executed = 0
         t0_wall = perf_counter()
         try:
-            while heap:
-                if until is not None and heap[0][0] > until:
+            while times:
+                if until is not None and peek_time() > until:
                     self._now = until
                     return until
-                t, _seq, callback, args = pop(heap)
+                t = times[0]
                 if executed < check_first and t < self._now:
                     raise SimTimeError(
                         "event queue went backwards: %r < %r" % (t, self._now)
                     )
                 self._now = t
-                executed += 1
-                callback(*args)
+                bucket = buckets[t]
+                i = bucket[0]
+                try:
+                    while i < len(bucket):
+                        callback = bucket[i]
+                        args = bucket[i + 1]
+                        i += 2
+                        executed += 1
+                        callback(*args)
+                finally:
+                    release(t, bucket, i)
         finally:
             self._events_executed += executed
             self._wall_seconds += perf_counter() - t0_wall
@@ -275,18 +311,19 @@ class Simulator:
         buffer and sampling queue depth.  Telemetry reads only simulated
         time, so its output is deterministic.
         """
-        heap = self._queue._heap
-        pop = heappop
+        queue = self._queue
+        pop = queue.pop
+        peek_time = queue.peek_time
         ring = col.ring
         every = col.config.queue_sample_every
         executed = 0
         t0_wall = perf_counter()
         try:
-            while heap:
-                if until is not None and heap[0][0] > until:
+            while queue._len:
+                if until is not None and peek_time() > until:
                     self._now = until
                     return until
-                t, _seq, callback, args = pop(heap)
+                t, callback, args = pop()
                 if t < self._now:
                     raise SimTimeError(
                         "event queue went backwards: %r < %r" % (t, self._now)
@@ -295,7 +332,7 @@ class Simulator:
                 executed += 1
                 ring.append((t, callback, args))
                 if executed % every == 0:
-                    col.des_queue_depth(t, len(heap))
+                    col.des_queue_depth(t, queue._len)
                 callback(*args)
         finally:
             self._events_executed += executed

@@ -451,6 +451,7 @@ def build_chaos_specs(
     frameworks: Sequence[str] = CHAOS_FRAMEWORKS,
     seed: int = 0,
     store: Optional[str] = None,
+    store_codec: str = "v1",
 ) -> List[RunSpec]:
     """One spec per (framework, scenario), framework-major order.
 
@@ -478,6 +479,7 @@ def build_chaos_specs(
             sim_timeout=sc.horizon,
             retries=sc.retries,
             store=store,
+            store_codec=store_codec,
         )
         for fw in frameworks
         for sc in scenarios
@@ -492,6 +494,7 @@ def run_chaos_matrix(
     cache: Optional[Any] = None,
     progress: Optional[Callable] = None,
     store: Optional[str] = None,
+    store_codec: str = "v1",
 ) -> Dict[str, Any]:
     """Run a named matrix and assemble the survival/overhead report.
 
@@ -502,7 +505,10 @@ def run_chaos_matrix(
     ``store_run_id`` (content-derived, so still byte-stable).
     """
     scenarios = CHAOS_MATRICES[matrix] if matrix in CHAOS_MATRICES else None
-    specs = build_chaos_specs(matrix, frameworks=frameworks, seed=seed, store=store)
+    specs = build_chaos_specs(
+        matrix, frameworks=frameworks, seed=seed, store=store,
+        store_codec=store_codec,
+    )
     result = run_sweep(specs, jobs=jobs, cache=cache, progress=progress)
 
     rows: List[Dict[str, Any]] = []

@@ -169,7 +169,7 @@ class FaultPlane:
                     # the cluster gives up — i.e. a loud DeadlockError.
                     yield sim.completion("partition:node%d" % node)
                 else:
-                    yield sim.timeout(heal - sim.now)
+                    yield heal - sim.now
         events = self._link_events.get(node)
         if events:
             now = sim.now
@@ -180,7 +180,7 @@ class FaultPlane:
                 if ev.extra_latency > 0:
                     self._count("net.latency_spikes")
                     self._inject("latency_spike")
-                    yield sim.timeout(ev.extra_latency)
+                    yield ev.extra_latency
                 if ev.drop_rate > 0.0:
                     rng = self._net_rng
                     backoff = ev.retransmit_timeout
@@ -189,7 +189,7 @@ class FaultPlane:
                             break
                         self._count("net.drops")
                         self._inject("packet_drop")
-                        yield sim.timeout(backoff)
+                        yield backoff
                         backoff *= 2.0
 
     # -- event firing ------------------------------------------------------
@@ -328,7 +328,7 @@ class ScheduledFaultFS(StackableFS):
             if start <= now < end and (not ev.ops or op in ev.ops):
                 self.plane._count("disk.delays")
                 self.plane._inject("disk_delay")
-                yield self.sim.timeout(ev.extra_latency)
+                yield ev.extra_latency
         for ev in self.storms:
             start, end = ev.window
             if start <= now < end and (not ev.ops or op in ev.ops):
@@ -338,7 +338,7 @@ class ScheduledFaultFS(StackableFS):
                     raise InjectedIOError(
                         "storm-injected fault in %s on %s" % (op, self.mount)
                     )
-        yield self.sim.timeout(0)
+        yield 0
 
 
 def install_fault_plane(schedule: FaultSchedule, cluster: Any,

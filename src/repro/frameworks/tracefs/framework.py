@@ -97,7 +97,7 @@ class TracefsLayer(StackableFS):
     def before_op(self, ctx: CallerContext, op: str, args: tuple) -> Generator[Any, Any, None]:
         """Charge the entry half of the in-kernel hook cost."""
         # Hook dispatch happens whether or not the op ends up recorded.
-        yield self.sim.timeout(self.config.vfs_op_cost / 2.0)
+        yield self.config.vfs_op_cost / 2.0
 
     def after_op(
         self, ctx: CallerContext, op: str, args: tuple, result: Any, duration: float
@@ -123,7 +123,7 @@ class TracefsLayer(StackableFS):
                 self.sink.append(event)
                 self.counters.record(op, size, duration)
                 self.ops_recorded += 1
-        yield self.sim.timeout(cost)
+        yield cost
 
     def _abs(self, relpath: str) -> str:
         return "%s/%s" % (self.config.target_mount.rstrip("/"), relpath)

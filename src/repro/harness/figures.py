@@ -152,6 +152,7 @@ def figure_series(
     telemetry: bool = False,
     progress: Optional[Callable] = None,
     store: Optional[str] = None,
+    store_codec: str = "v1",
 ) -> FigureSeries:
     """Regenerate Figure 2, 3 or 4.
 
@@ -185,6 +186,7 @@ def figure_series(
         telemetry=telemetry,
         progress=progress,
         store=store,
+        store_codec=store_codec,
     )
     return FigureSeries(
         figure_number=figure_number,
@@ -221,6 +223,7 @@ def run_figures(
     telemetry: bool = False,
     progress: Optional[Callable] = None,
     store: Optional[str] = None,
+    store_codec: str = "v1",
 ) -> FigureSweep:
     """Regenerate several figures as one flat sweep (maximum parallelism).
 
@@ -250,6 +253,7 @@ def run_figures(
                 seed=seed,
                 telemetry=telemetry,
                 store=store,
+                store_codec=store_codec,
             )
         )
         owners.extend([figno] * len(sizes))

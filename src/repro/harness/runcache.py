@@ -102,8 +102,13 @@ def spec_key(spec: RunSpec) -> str:
         material["retries"] = spec.retries
     # Archived specs widen the key too (a flag, not the store path: the
     # run id is content-derived, so it is valid for any archive location).
+    # The segment codec joins the key only when non-default, so every
+    # pre-columnar archived entry keeps its key.
     if getattr(spec, "store", None) is not None:
         material["store"] = True
+        codec = getattr(spec, "store_codec", "v1")
+        if codec != "v1":
+            material["store_codec"] = codec
     return hashlib.sha256(_dumps(material).encode("utf-8")).hexdigest()
 
 

@@ -70,6 +70,12 @@ METRIC_SPECS: Dict[str, Dict[str, float]] = {
         "rel_floor": 0.30,
         "abs_floor": 0.05,
     },
+    # Archive-scan metrics (codec benchmark points).  Scan throughput is
+    # a host-clock rate — more MB/s is better, wide noise floor.  Bytes
+    # per stored event is deterministic codec output — any growth is a
+    # real format regression, so the floor is tight.
+    "scan_mb_per_sec": {"direction": -1, "rel_floor": 0.30, "abs_floor": 1.0},
+    "bytes_per_event": {"direction": 1, "rel_floor": 0.01, "abs_floor": 0.5},
 }
 
 

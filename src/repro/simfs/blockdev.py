@@ -95,7 +95,7 @@ class BlockDevice:
                     self.name, self.sim.now, nbytes, sequential, self.queue.in_use
                 )
             if t > 0:
-                yield self.sim.timeout(t)
+                yield t
         finally:
             self.queue.release()
             col = _TELEMETRY.collector

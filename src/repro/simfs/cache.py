@@ -138,7 +138,7 @@ class CachingFS(StackableFS):
         if col is not None:
             col.cache_access(self.name, len(hit_blocks), len(missing))
         if hit_blocks:
-            yield self.sim.timeout(self.params.hit_cost * len(hit_blocks))
+            yield self.params.hit_cost * len(hit_blocks)
             for b in hit_blocks:
                 self._touch((ino, b), dirty=False)
         # Result semantics come from the lower namespace (sizes live there).
@@ -158,7 +158,7 @@ class CachingFS(StackableFS):
         if self.params.write_back:
             for b in blocks:
                 self._touch((ino, b), dirty=True)
-            yield self.sim.timeout(self.params.hit_cost * len(blocks))
+            yield self.params.hit_cost * len(blocks)
             # size bookkeeping without lower I/O
             inode = self.lower.ns.by_ino(ino)
             inode.size = max(inode.size, offset + nbytes)

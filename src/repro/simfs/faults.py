@@ -116,8 +116,8 @@ class FaultInjectingFS(StackableFS):
             error_hit = self._rng.random() < self.plan.error_rate
             if delay_hit:
                 self.delays_injected += 1
-                yield self.sim.timeout(self.plan.delay)
+                yield self.plan.delay
             if error_hit:
                 self.errors_injected += 1
                 raise InjectedIOError("injected fault in %s" % op)
-        yield self.sim.timeout(0)
+        yield 0

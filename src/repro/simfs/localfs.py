@@ -70,7 +70,7 @@ class LocalFS(FileSystem):
         cost = self.params.meta_op_cost
         if op in _MUTATING_META:
             cost += self.params.journal_cost
-        yield self.sim.timeout(cost)
+        yield cost
 
     def _data_service(
         self, ctx: CallerContext, inode: Inode, offset: int, nbytes: int, stream: Any
@@ -85,7 +85,7 @@ class LocalFS(FileSystem):
             self._raid_streams[stream] = offset + nbytes
             t = self.raid.service_time(offset, nbytes, sequential)
             if t > 0:
-                yield self.sim.timeout(t)
+                yield t
         finally:
             self._raid_queue.release()
 

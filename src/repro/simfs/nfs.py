@@ -91,11 +91,11 @@ class NFS(FileSystem):
         yield from self.network.transfer(ctx.node.nic, 128 + payload)
         yield self.server.acquire()
         try:
-            yield self.sim.timeout(self.params.rpc_overhead)
+            yield self.params.rpc_overhead
         finally:
             self.server.release()
         # Reply header (replies carrying read payloads add it in _read_service).
-        yield self.sim.timeout(self.network.config.latency)
+        yield self.network.config.latency
 
     def _meta_service(self, ctx: CallerContext, op: str) -> Generator[Any, Any, None]:
         yield from self._rpc(ctx, 0)

@@ -184,10 +184,10 @@ class ParallelFS(FileSystem):
         yield from self.network.transfer(ctx.node.nic, 128)
         yield self.mds.acquire()
         try:
-            yield self.sim.timeout(self.params.rpc_overhead)
+            yield self.params.rpc_overhead
         finally:
             self.mds.release()
-        yield self.sim.timeout(self.network.config.latency)
+        yield self.network.config.latency
 
     def _server_chunk(
         self,
@@ -204,7 +204,7 @@ class ParallelFS(FileSystem):
         yield from self.network.transfer(ctx.node.nic, 128 + nbytes)
         yield server.queue.acquire()
         try:
-            yield self.sim.timeout(self.params.rpc_overhead)
+            yield self.params.rpc_overhead
             stream = (ino, ctx.node.index)
             sequential = server.stream_pos.get(stream) == server_off
             server.stream_pos[stream] = server_off + nbytes
@@ -221,7 +221,7 @@ class ParallelFS(FileSystem):
                     server.queue.in_use,
                 )
             if t > 0:
-                yield self.sim.timeout(t)
+                yield t
             server.bytes_served += nbytes
             server.ops_served += 1
         finally:
@@ -248,7 +248,7 @@ class ParallelFS(FileSystem):
             t_lock = self.sim.now if col is not None else 0.0
             yield lock.acquire()
             try:
-                yield self.sim.timeout(self.params.extent_lock_time)
+                yield self.params.extent_lock_time
             finally:
                 lock.release()
             if col is not None:

@@ -118,11 +118,28 @@ class Raid5Model:
     def __init__(self, geometry: Raid5Geometry, disk: DiskParams | None = None):
         self.geometry = geometry
         self.disk = disk or DiskParams()
-
     def service_time(self, offset: int, nbytes: int, sequential: bool) -> float:
         """Parallel completion time of one extent across the array."""
+        disk = self.disk
         if nbytes <= 0:
-            return self.disk.settle_time
+            return disk.settle_time
+        g = self.geometry
+        in_unit = offset % g.stripe_width
+        if in_unit + nbytes <= g.stripe_width and (in_unit > 0 or nbytes < g.data_per_row):
+            # Closed form for the dominant case: the extent lives in one
+            # stripe unit of one (partial) row, so the loads are exactly
+            # {data drive: nbytes, parity drive: stripe_width} and one
+            # read-modify-write round is charged.  Matches the general
+            # path bit for bit (same operations in the same order).
+            busiest = nbytes if nbytes > g.stripe_width else g.stripe_width
+            t = busiest / disk.stream_bandwidth + disk.settle_time
+            if not sequential:
+                t += disk.seek_time
+            t += 1 * disk.settle_time
+            return t
+        return self._service_time_uncached(offset, nbytes, sequential)
+
+    def _service_time_uncached(self, offset: int, nbytes: int, sequential: bool) -> float:
         g = self.geometry
         per_drive: Dict[int, int] = defaultdict(int)
         for seg in g.map_extent(offset, nbytes):

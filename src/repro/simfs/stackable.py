@@ -48,13 +48,13 @@ class StackableFS(FileSystem):
 
     def before_op(self, ctx: CallerContext, op: str, args: tuple) -> Generator[Any, Any, None]:
         """Runs before the lower operation.  May charge time."""
-        yield self.sim.timeout(0)
+        yield 0
 
     def after_op(
         self, ctx: CallerContext, op: str, args: tuple, result: Any, duration: float
     ) -> Generator[Any, Any, None]:
         """Runs after the lower operation completed.  May charge time."""
-        yield self.sim.timeout(0)
+        yield 0
 
     def _wrap(self, ctx: CallerContext, op: str, args: tuple, lower_gen):
         """Run one lower operation between the two hooks."""

@@ -269,19 +269,19 @@ class FileSystem:
 
     def _meta_service(self, ctx: CallerContext, op: str) -> Generator[Any, Any, None]:
         """Time charged for one metadata operation (lookup, create, ...)."""
-        yield self.sim.timeout(10e-6)
+        yield 10e-6
 
     def _read_service(
         self, ctx: CallerContext, inode: Inode, offset: int, nbytes: int, stream: Any
     ) -> Generator[Any, Any, None]:
         """Time charged to move ``nbytes`` from storage to the caller."""
-        yield self.sim.timeout(0)
+        yield 0
 
     def _write_service(
         self, ctx: CallerContext, inode: Inode, offset: int, nbytes: int, stream: Any
     ) -> Generator[Any, Any, None]:
         """Time charged to move ``nbytes`` from the caller to storage."""
-        yield self.sim.timeout(0)
+        yield 0
 
     # -- operations ------------------------------------------------------------
 

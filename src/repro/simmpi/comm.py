@@ -163,7 +163,7 @@ class MPIRank:
         """MPI_Comm_rank as a traced library call."""
 
         def body():
-            yield self.sim.timeout(0)
+            yield 0
             return self.rank
 
         return self.proc._libcall("MPI_Comm_rank", ("MPI_COMM_WORLD",), body())
@@ -172,7 +172,7 @@ class MPIRank:
         """MPI_Comm_size as a traced library call."""
 
         def body():
-            yield self.sim.timeout(0)
+            yield 0
             return self.comm.size
 
         return self.proc._libcall("MPI_Comm_size", ("MPI_COMM_WORLD",), body())
@@ -231,7 +231,7 @@ class MPIRank:
             inst, is_last = self.comm.join_collective(self.rank, name, value, root)
             if is_last:
                 # The last arriver pays the tree propagation, then frees all.
-                yield self.sim.timeout(self.comm._tree_latency())
+                yield self.comm._tree_latency()
                 if payload_bytes > 0:
                     yield from self.comm.network.transfer(
                         self.proc.node.nic, payload_bytes

@@ -98,7 +98,7 @@ class MPIFile:
             if collective:
                 inst, is_last = mpi.comm.join_collective(mpi.rank, "File_open", None, None)
                 if is_last:
-                    yield mpi.sim.timeout(mpi.comm._tree_latency())
+                    yield mpi.comm._tree_latency()
                     inst.release.succeed(None)
                 else:
                     yield inst.release
@@ -122,7 +122,7 @@ class MPIFile:
             if self.collective:
                 inst, is_last = mpi.comm.join_collective(mpi.rank, "File_close", None, None)
                 if is_last:
-                    yield mpi.sim.timeout(mpi.comm._tree_latency())
+                    yield mpi.comm._tree_latency()
                     inst.release.succeed(None)
                 else:
                     yield inst.release
@@ -253,7 +253,7 @@ class MPIFile:
                 mpi.rank, "File_write_at_all", list(extents), None
             )
             if is_last:
-                yield mpi.sim.timeout(mpi.comm._tree_latency())
+                yield mpi.comm._tree_latency()
                 inst.release.succeed(None)
             else:
                 yield inst.release
@@ -268,7 +268,7 @@ class MPIFile:
                 mpi.rank, "File_write_at_all_end", None, None
             )
             if is_last2:
-                yield mpi.sim.timeout(mpi.comm._tree_latency())
+                yield mpi.comm._tree_latency()
                 inst2.release.succeed(None)
             else:
                 yield inst2.release
@@ -300,7 +300,7 @@ class MPIFile:
             child = self.mpi.sim.spawn(
                 io_child(), name="iwrite:%s@%d" % (self.path, offset)
             )
-            yield self.mpi.sim.timeout(0)
+            yield 0
             return Request(child.completion)
 
         return (

@@ -106,15 +106,15 @@ class SimProcess:
             if col is not None:
                 node_index = self.node.index
                 col.cpu_busy(node_index, self.sim.now, +1)
-                yield self.sim.timeout(seconds * self.cpu_factor)
+                yield seconds * self.cpu_factor
                 col.cpu_busy(node_index, self.sim.now, -1)
             else:
-                yield self.sim.timeout(seconds * self.cpu_factor)
+                yield seconds * self.cpu_factor
 
     def _charge_raw(self, seconds: float) -> Generator[Any, Any, None]:
         """Charge tracer-side work (not subject to the slowdown factor)."""
         if seconds > 0:
-            yield self.sim.timeout(seconds)
+            yield seconds
 
     # -- dispatch wrappers -------------------------------------------------------------
 
@@ -130,7 +130,7 @@ class SimProcess:
     ) -> Generator[Any, Any, Any]:
         trace_result = typed.pop("trace_result", None)
         node = self.node
-        plane = getattr(self.sim, "fault_plane", None)
+        plane = self.sim.fault_plane
         if plane is not None and plane.node_down(node.index):
             raise NodeCrashed(
                 "node %d (%s) is down: cannot dispatch %s"
@@ -139,10 +139,23 @@ class SimProcess:
         col = _TELEMETRY.collector
         t0_sim = self.sim.now if col is not None else 0.0
         t0_local = node.now_local()
-        yield from self._charge(base_cost)
+        # The charge helpers are inlined here (this generator runs for
+        # every simulated syscall/libcall): a ``yield from self._charge(x)``
+        # costs a generator object plus two extra frame switches per use,
+        # which the hot path cannot afford.  Semantics are identical.
+        if base_cost > 0:
+            if col is not None:
+                node_index = node.index
+                col.cpu_busy(node_index, self.sim.now, +1)
+                yield base_cost * self.cpu_factor
+                col.cpu_busy(node_index, self.sim.now, -1)
+            else:
+                yield base_cost * self.cpu_factor
         for ip in interposers:
             ip.intercept(name)
-            yield from self._charge_raw(ip.entry_cost(name))
+            cost = ip.entry_cost(name)
+            if cost > 0:
+                yield cost
         result: Any = None
         error: Optional[SimOSError] = None
         try:
@@ -151,7 +164,9 @@ class SimProcess:
             error = exc
             result = "-1 %s" % exc.errno_name
         for ip in interposers:
-            yield from self._charge_raw(ip.exit_cost(name))
+            cost = ip.exit_cost(name)
+            if cost > 0:
+                yield cost
         if interposers:
             # What the tracer prints as "= result": errno strings pass
             # through; structured returns (stat buffers, directory lists)
@@ -272,7 +287,7 @@ class SimProcess:
             note = getattr(handle.fs, "note_close", None)
             if note is not None:
                 note(self.ctx, handle.ino)
-            yield self.sim.timeout(0)
+            yield 0
             return 0
 
         return self._syscall(sc.SYS_CLOSE, (fd,), body(), fd=fd)
@@ -399,7 +414,7 @@ class SimProcess:
             if new < 0:
                 raise InvalidArgument("seek before start of file")
             handle.position = new
-            yield self.sim.timeout(0)
+            yield 0
             return new
 
         return self._syscall(
@@ -492,7 +507,7 @@ class SimProcess:
 
         def body():
             self._handle(fd)
-            yield self.sim.timeout(0)
+            yield 0
             return 0
 
         return self._syscall(sc.SYS_FCNTL, (fd, cmd, arg), body(), fd=fd)
@@ -505,7 +520,7 @@ class SimProcess:
 
         def body():
             self._handle(fd)
-            yield self.sim.timeout(0)
+            yield 0
             return 0x40000000 + fd  # fake mapping address
 
         return self._syscall(

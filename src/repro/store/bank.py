@@ -153,23 +153,35 @@ class TraceBank:
         meta: Optional[Mapping[str, Any]] = None,
         compressed: bool = True,
         checksum: bool = True,
+        codec: str = "v1",
     ) -> IngestResult:
         """Archive one trace bundle as one run; idempotent.
 
         Each source file becomes one segment (keyed by its bundle rank);
         ``meta`` is merged over the bundle's own metadata and becomes the
-        manifest's queryable run description.  Returns the dedup-aware
-        :class:`IngestResult`; emits ``store.ingest.*`` telemetry when a
-        collector is active.
+        manifest's queryable run description.  ``codec`` picks the segment
+        wire format (``"v1"`` row-major, ``"v2"`` columnar); readers sniff
+        per blob, so codecs can mix freely within one archive.  Returns
+        the dedup-aware :class:`IngestResult`; emits ``store.ingest.*``
+        telemetry when a collector is active.
         """
         merged_meta: Dict[str, Any] = dict(bundle.metadata)
         merged_meta.update(dict(meta or {}))
-        codec = {"compressed": bool(compressed), "checksum": bool(checksum)}
+        codec_info: Dict[str, Any] = {
+            "compressed": bool(compressed),
+            "checksum": bool(checksum),
+        }
+        # v1 manifests keep their pre-columnar shape (and run ids); the
+        # "format" key only appears for v2 runs.
+        if codec != "v1":
+            codec_info["format"] = codec
         segs: List[SegmentMeta] = []
         new = dedup = events = 0
         for rank in sorted(bundle.files):
             tf = bundle.files[rank]
-            blob, sha = encode_segment(tf, compressed=compressed, checksum=checksum)
+            blob, sha = encode_segment(
+                tf, compressed=compressed, checksum=checksum, codec=codec
+            )
             seg = summarize_segment(tf, int(rank), sha, len(blob))
             path = self.segment_path(sha)
             if path.is_file():
@@ -180,11 +192,11 @@ class TraceBank:
             segs.append(seg)
             events += seg.n_events
         segs.sort(key=lambda s: (s.rank, s.sha256))
-        run_id = compute_run_id(merged_meta, segs, codec)
+        run_id = compute_run_id(merged_meta, segs, codec_info)
         manifest = RunManifest(
             run_id=run_id,
             meta=json_safe_meta(merged_meta),
-            codec=codec,
+            codec=codec_info,
             segments=tuple(segs),
             n_events=events,
             n_barriers=len(bundle.barrier_stamps),
@@ -212,6 +224,7 @@ class TraceBank:
         rank: Optional[int] = None,
         compressed: bool = True,
         checksum: bool = True,
+        codec: str = "v1",
     ) -> IngestResult:
         """Archive one standalone trace file as a single-segment run."""
         key = rank if rank is not None else (tf.rank if tf.rank is not None else 0)
@@ -219,7 +232,7 @@ class TraceBank:
         if tf.framework:
             bundle.metadata.setdefault("framework", tf.framework)
         return self.ingest_bundle(
-            bundle, meta=meta, compressed=compressed, checksum=checksum
+            bundle, meta=meta, compressed=compressed, checksum=checksum, codec=codec
         )
 
     # -- reads ---------------------------------------------------------------
@@ -245,6 +258,16 @@ class TraceBank:
 
     def read_segment(self, sha: str) -> TraceFile:
         """Load and verify one segment by content address."""
+        return decode_segment(self.read_segment_blob(sha), expected_sha=sha)
+
+    def read_segment_blob(self, sha: str) -> bytes:
+        """Raw encoded bytes of one segment (codec-sniffing callers).
+
+        The content address is verified; decoding — full or columnar
+        projection — is the caller's choice.  This is the query engine's
+        entry to the columnar fast path: it sniffs the magic and projects
+        columns instead of materializing every event.
+        """
         path = self.segment_path(sha)
         try:
             blob = path.read_bytes()
@@ -252,7 +275,13 @@ class TraceBank:
             raise StoreCorruptionError(
                 "segment %s referenced but missing on disk" % sha[:12]
             ) from None
-        return decode_segment(blob, expected_sha=sha)
+        got = content_address(blob)
+        if got != sha:
+            raise StoreCorruptionError(
+                "segment content hash mismatch: manifest says %s, bytes are %s"
+                % (sha[:12], got[:12])
+            )
+        return blob
 
     def iter_run_events(self, run_id: str) -> Iterator[Tuple[int, TraceEvent]]:
         """Yield ``(rank, event)`` for one run, rank-major, capture order."""

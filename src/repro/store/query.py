@@ -35,6 +35,8 @@ from repro.obs.metrics import canonical_json
 from repro.obs.tracepoints import STATE
 from repro.store.bank import TraceBank
 from repro.store.manifest import RunManifest
+from repro.store.segments import decode_segment
+from repro.trace.columnar import is_columnar, read_columns, read_header
 from repro.trace.events import TraceEvent
 
 __all__ = ["AGGREGATES", "Query", "run_query", "scan_events", "telemetry_view"]
@@ -238,19 +240,222 @@ def _event_json(e: TraceEvent, run_id: str, rank: int, seq: int) -> Dict[str, An
     }
 
 
+#: Columns each aggregate reads from a columnar segment (beyond filters).
+_AGG_COLUMNS: Dict[str, Tuple[str, ...]] = {
+    "events": ("timestamp", "duration", "layer", "name", "pid", "hostname",
+               "path", "fd", "nbytes", "offset", "result"),
+    "ops": ("name", "duration"),
+    "bytes": ("nbytes",),
+    "bandwidth": ("timestamp", "nbytes"),
+}
+
+
+def _empty_partial(agg: str, rank: int) -> Dict[str, Any]:
+    """The zero-match partial for one shard (pruned-by-header case)."""
+    if agg == "events":
+        return {"matched": 0, "events": []}
+    if agg == "ops":
+        return {"matched": 0, "ops": {}}
+    if agg == "bytes":
+        return {"matched": 0, "rank": rank, "events": 0, "bytes": 0}
+    return {"matched": 0, "buckets": {}}
+
+
+def _filter_columns(plan: Dict[str, Any]) -> List[str]:
+    """Columns the plan's event-level predicates read."""
+    need: List[str] = []
+    if plan["names"] is not None:
+        need.append("name")
+    if plan["layers"] is not None:
+        need.append("layer")
+    if plan["since"] is not None or plan["until"] is not None:
+        need.append("timestamp")
+    if plan["path_glob"] is not None:
+        need.append("path")
+    return need
+
+
+def _columnar_prune(
+    header: Dict[str, Any],
+    rank: int,
+    plan: Dict[str, Any],
+    matched_paths: Optional[frozenset],
+) -> bool:
+    """Header-only necessary-condition check: True means zero matches.
+
+    This is column-granularity pushdown *below* the manifest's
+    :meth:`~repro.store.segments.SegmentMeta.may_match`: the segment
+    header's own stats (distinct names, timestamp min/max, distinct
+    paths) can rule a segment out after reading one JSON frame, before
+    any column is decompressed.
+    """
+    if plan["ranks"] is not None and rank not in plan["ranks"]:
+        return True
+    if not header.get("n_events"):
+        return True
+    names = header.get("names")
+    if plan["names"] is not None and names is not None:
+        if not plan["names"].intersection(names):
+            return True
+    ts = (header.get("stats") or {}).get("timestamp")
+    if ts:
+        if plan["since"] is not None and ts["max"] < plan["since"]:
+            return True
+        if plan["until"] is not None and ts["min"] >= plan["until"]:
+            return True
+    if plan["path_glob"] is not None and matched_paths is not None:
+        if not matched_paths:
+            return True
+    return False
+
+
+def _columnar_selection(
+    n: int,
+    cols: Dict[str, List[Any]],
+    plan: Dict[str, Any],
+    matched_paths: Optional[frozenset],
+) -> Optional[List[int]]:
+    """Indices of events surviving the plan's filters (None = all survive).
+
+    The path glob is evaluated per *distinct* path when the header listed
+    them (``matched_paths``), turning a per-event fnmatch into a set
+    lookup.
+    """
+    names = plan["names"]
+    layers = plan["layers"]
+    since, until = plan["since"], plan["until"]
+    glob = plan["path_glob"]
+    if (names is None and layers is None and since is None
+            and until is None and glob is None):
+        return None
+    name_col = cols.get("name")
+    layer_col = cols.get("layer")
+    ts_col = cols.get("timestamp")
+    path_col = cols.get("path")
+    keep: List[int] = []
+    append = keep.append
+    for i in range(n):
+        if names is not None and name_col[i] not in names:
+            continue
+        if layers is not None and layer_col[i] not in layers:
+            continue
+        if since is not None and ts_col[i] < since:
+            continue
+        if until is not None and ts_col[i] >= until:
+            continue
+        if glob is not None:
+            p = path_col[i]
+            if p is None:
+                continue
+            if matched_paths is not None:
+                if p not in matched_paths:
+                    continue
+            elif not fnmatchcase(p, glob):
+                continue
+        append(i)
+    return keep
+
+
+def _scan_shard_columnar(
+    blob: bytes, run_id: str, rank: int, plan: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Columnar scan: project only the columns the aggregate touches.
+
+    Produces bit-identical partials to the row path — per-shard float
+    sums (``ops`` durations) accumulate in segment order either way.
+    """
+    agg = plan["agg"]
+    header = read_header(blob)
+    glob = plan["path_glob"]
+    matched_paths: Optional[frozenset] = None
+    if glob is not None and header.get("paths") is not None:
+        matched_paths = frozenset(
+            p for p in header["paths"] if fnmatchcase(p, glob)
+        )
+    if _columnar_prune(header, rank, plan, matched_paths):
+        return _empty_partial(agg, rank)
+    n = int(header["n_events"])
+    need = set(_AGG_COLUMNS[agg])
+    need.update(_filter_columns(plan))
+    cols = read_columns(blob, sorted(need))
+    sel = _columnar_selection(n, cols, plan, matched_paths)
+    idxs: Sequence[int] = range(n) if sel is None else sel
+    matched = n if sel is None else len(sel)
+    out: Dict[str, Any] = {"matched": matched}
+    if agg == "events":
+        ts, du = cols["timestamp"], cols["duration"]
+        ly, nm = cols["layer"], cols["name"]
+        pid, hn = cols["pid"], cols["hostname"]
+        pa, fd = cols["path"], cols["fd"]
+        nb, off, res = cols["nbytes"], cols["offset"], cols["result"]
+        out["events"] = [
+            {
+                "run": run_id,
+                "rank": rank,
+                "seq": i,
+                "timestamp": ts[i],
+                "duration": du[i],
+                "layer": ly[i],
+                "name": nm[i],
+                "pid": pid[i],
+                "hostname": hn[i],
+                "path": pa[i],
+                "fd": fd[i],
+                "nbytes": nb[i],
+                "offset": off[i],
+                "result": res[i],
+            }
+            for i in idxs
+        ]
+    elif agg == "ops":
+        ops: Dict[str, List[float]] = {}
+        nm, du = cols["name"], cols["duration"]
+        for i in idxs:
+            cell = ops.setdefault(nm[i], [0, 0.0])
+            cell[0] += 1
+            cell[1] += du[i]
+        out["ops"] = ops
+    elif agg == "bytes":
+        nb = cols["nbytes"]
+        total = 0
+        for i in idxs:
+            v = nb[i]
+            if v is not None:
+                total += v
+        out["rank"] = rank
+        out["events"] = matched
+        out["bytes"] = total
+    else:  # bandwidth
+        window = plan["window"]
+        ts, nb = cols["timestamp"], cols["nbytes"]
+        buckets: Dict[str, int] = {}
+        for i in idxs:
+            v = nb[i]
+            if v is not None:
+                key = str(int(ts[i] // window))
+                buckets[key] = buckets.get(key, 0) + v
+        out["buckets"] = buckets
+    return out
+
+
 def _scan_shard(task: Tuple[str, str, int, str, Dict[str, Any]]) -> Dict[str, Any]:
     """Decode + filter + partially aggregate one shard (worker entry).
 
     Module-level so it pickles into :func:`~repro.harness.parallel.parallel_map`
     worker processes.  Partial results use only plain JSON types.
+    Columnar (v2) segments take the projected-scan fast path; v1 segments
+    decode row by row exactly as before.
     """
     root, run_id, rank, sha, plan = task
     bank = TraceBank(root, create=False)
-    tf = bank.read_segment(sha)
+    blob = bank.read_segment_blob(sha)
     plan = dict(plan)
     for key in ("ranks", "names", "layers"):
         if plan[key] is not None:
             plan[key] = set(plan[key])
+    if is_columnar(blob):
+        return _scan_shard_columnar(blob, run_id, rank, plan)
+    tf = decode_segment(blob, expected_sha=sha)
     agg = plan["agg"]
     matched = 0
     out: Dict[str, Any] = {"matched": 0}

@@ -1,12 +1,20 @@
 """Content-addressed trace segments: the archive's unit of storage.
 
 A *segment* is one ``(run, rank)`` slice of a trace bundle — a
-:class:`~repro.trace.records.TraceFile` — serialized with the existing
-binary codec (:mod:`repro.trace.binary_format`, so segments inherit its
-framing, CRC32 checksums, and optional zlib compression) and addressed by
-the SHA-256 of its encoded bytes.  Content addressing is what makes the
-archive dedup for free: re-ingesting an identical run re-derives the same
-bytes, the same digest, and therefore the same on-disk file.
+:class:`~repro.trace.records.TraceFile` — serialized with one of two
+codecs and addressed by the SHA-256 of its encoded bytes:
+
+* ``v1`` — the row-major record stream (:mod:`repro.trace.binary_format`);
+* ``v2`` — the columnar layout (:mod:`repro.trace.columnar`), which the
+  query engine scans by projecting only the columns an aggregate needs.
+
+Both inherit CRC32 framing and optional zlib compression.  Readers never
+need to be told which codec a blob uses — :func:`decode_segment` sniffs
+the magic, so v1 archives stay readable forever and a single archive can
+hold a mix.  Content addressing is what makes the archive dedup for free:
+re-ingesting an identical run re-derives the same bytes, the same digest,
+and therefore the same on-disk file (per codec: the same events encoded
+v1 and v2 are two distinct segments).
 
 Every segment carries a :class:`SegmentMeta` summary in its run manifest —
 time range, per-op and per-layer counts, payload bytes — which is what the
@@ -20,17 +28,27 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any, Dict, Tuple
 
-from repro.errors import StoreCorruptionError, TraceError
+from repro.errors import StoreCorruptionError, StoreError, TraceError
 from repro.trace.binary_format import decode_trace_file, encode_trace_file
+from repro.trace.columnar import (
+    decode_trace_file_columnar,
+    encode_trace_file_columnar,
+    is_columnar,
+)
 from repro.trace.records import TraceFile
 
 __all__ = [
+    "CODECS",
     "SegmentMeta",
     "content_address",
     "encode_segment",
     "decode_segment",
+    "segment_codec",
     "summarize_segment",
 ]
+
+#: Codec names accepted by :func:`encode_segment` (and the CLI ``--codec``).
+CODECS = ("v1", "v2")
 
 
 def content_address(blob: bytes) -> str:
@@ -39,22 +57,41 @@ def content_address(blob: bytes) -> str:
 
 
 def encode_segment(
-    tf: TraceFile, compressed: bool = True, checksum: bool = True
+    tf: TraceFile,
+    compressed: bool = True,
+    checksum: bool = True,
+    codec: str = "v1",
 ) -> Tuple[bytes, str]:
     """Serialize one per-rank trace file; returns ``(blob, sha256)``.
 
-    The encoding is deterministic for fixed codec flags (fixed zlib level,
-    canonical field order), so identical events always produce identical
-    bytes — the property content addressing depends on.
+    ``codec`` picks the wire layout: ``"v1"`` row-major records, ``"v2"``
+    columnar.  Either encoding is deterministic for fixed codec flags
+    (fixed zlib level, canonical field order), so identical events always
+    produce identical bytes — the property content addressing depends on.
     """
-    blob = encode_trace_file(tf, compressed=compressed, checksum=checksum)
+    if codec == "v1":
+        blob = encode_trace_file(tf, compressed=compressed, checksum=checksum)
+    elif codec == "v2":
+        blob = encode_trace_file_columnar(
+            tf, compressed=compressed, checksum=checksum
+        )
+    else:
+        raise StoreError("unknown segment codec %r (expected one of %s)"
+                         % (codec, ", ".join(CODECS)))
     return blob, content_address(blob)
+
+
+def segment_codec(blob: bytes) -> str:
+    """Which codec wrote ``blob`` — ``"v2"`` by magic sniff, else ``"v1"``."""
+    return "v2" if is_columnar(blob) else "v1"
 
 
 def decode_segment(blob: bytes, expected_sha: str = "") -> TraceFile:
     """Decode a segment blob back into a :class:`TraceFile`.
 
-    When ``expected_sha`` is given the blob's digest is verified first, and
+    The codec is sniffed from the blob's magic, so mixed-codec archives
+    and pre-columnar (v1) archives decode transparently.  When
+    ``expected_sha`` is given the blob's digest is verified first, and
     decode failures are reported as archive corruption
     (:class:`~repro.errors.StoreCorruptionError`) rather than plain trace
     format errors — the caller is reading the archive, not a user file.
@@ -67,6 +104,8 @@ def decode_segment(blob: bytes, expected_sha: str = "") -> TraceFile:
                 % (expected_sha[:12], got[:12])
             )
     try:
+        if is_columnar(blob):
+            return decode_trace_file_columnar(blob)
         return decode_trace_file(blob)
     except TraceError as exc:
         if expected_sha:

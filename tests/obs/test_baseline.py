@@ -28,6 +28,8 @@ def _record(elapsed_traced=1.0, events_per_sec=1e6, **extra):
         "events_per_sec": events_per_sec,
         "wall_seconds": 0.25,
         "wall_time_per_sim_second": 0.2,
+        "scan_mb_per_sec": 400.0,
+        "bytes_per_event": 40.0,
     }
     point.update(extra)
     return make_record([point], quick=True, nprocs=4, jobs=1)
@@ -107,6 +109,25 @@ class TestCheckHistory:
             [_record(events_per_sec=1e6)] * 3 + [_record(events_per_sec=2e6)]
         )
         assert self._statuses(faster)["events_per_sec"] == "improvement"
+
+    def test_scan_rate_drop_is_a_regression_growth_an_improvement(self):
+        # Archive-scan throughput is rate-like: less MB/s is worse.
+        slower = check_history(
+            [_record()] * 3 + [_record(scan_mb_per_sec=100.0)]
+        )
+        assert self._statuses(slower)["scan_mb_per_sec"] == "regression"
+        faster = check_history(
+            [_record()] * 3 + [_record(scan_mb_per_sec=900.0)]
+        )
+        assert self._statuses(faster)["scan_mb_per_sec"] == "improvement"
+
+    def test_bytes_per_event_gates_tightly(self):
+        # Codec output size is deterministic: +5% growth must gate even
+        # though host-clock metrics would shrug it off.
+        grew = check_history([_record()] * 3 + [_record(bytes_per_event=42.5)])
+        assert self._statuses(grew)["bytes_per_event"] == "regression"
+        shrank = check_history([_record()] * 3 + [_record(bytes_per_event=30.0)])
+        assert self._statuses(shrank)["bytes_per_event"] == "improvement"
 
     def test_host_clock_jitter_stays_inside_the_floor(self):
         # 20% wall-clock wobble is hardware noise (rel_floor=0.30), not a
