@@ -40,16 +40,28 @@ Commands:
     (direction inferred from file extensions).
 ``anonymize IN OUT [--mode randomize|encrypt] [--key HEX] [--fields ...]``
     Anonymize a trace file for release.
-``obs diff|critpath|check``
+``obs diff|critpath|slice|diagnose|check``
     The regression observatory.  ``diff`` structurally compares two
     runs' telemetry (counter deltas, histogram divergence, span-tree
     alignment with per-layer self-time deltas) — runs are addressed by
     telemetry file or TraceBank run-id prefix.  ``critpath`` attributes
     self time to stack layers, names the straggler rank chain bounding
     elapsed time, and exports collapsed-stack flamegraph lines.
-    ``check`` gates the latest ``BENCH_history.jsonl`` record (appended
-    by ``figures --baseline``) with median/MAD change detection;
-    ``--fail-on-regression`` exits nonzero when a metric regressed.
+    ``slice`` extracts the causal slice explaining one run's latency
+    around an anchor (the straggler by default, or ``--rank``/``--op``/
+    ``--path``): per-layer attributed time in the anchor window, the
+    cross-layer bounding chain, overlapping injected faults, and ranked
+    suspect layers, with ``--perfetto``/``--flame`` renderings.
+    ``diagnose`` runs archive-scale anomaly diagnosis over a TraceBank:
+    fingerprints every archived run (DFG shape + per-layer self time),
+    clusters by fingerprint distance, flags outliers with median/MAD
+    scoring against their peer group (or ``--against`` a pinned
+    baseline run), auto-slices each outlier, and prints the ranked
+    "suspect layer + op + rank" table — byte-identical for any
+    ``--jobs``.  ``check`` gates the latest ``BENCH_history.jsonl``
+    record (appended by ``figures --baseline``) with median/MAD change
+    detection; ``--fail-on-regression`` exits nonzero when a metric
+    regressed.
 ``store ingest|ls|query|dfg|verify|gc``
     The TraceBank trace archive: ingest trace files or whole sweeps
     (``--store`` on ``figure``/``figures``/``chaos`` auto-archives every
@@ -570,6 +582,84 @@ def _cmd_obs_critpath(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_slice(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import canonical_json
+    from repro.obs.slice import (
+        causal_slice,
+        render_slice,
+        slice_flamegraph_lines,
+        slice_from_store,
+        slice_trace,
+    )
+
+    anchor, value = "straggler", None
+    if args.rank is not None:
+        anchor, value = "rank", args.rank
+    elif args.op is not None:
+        anchor, value = "op", args.op
+    elif args.path_anchor is not None:
+        anchor, value = "path", args.path_anchor
+
+    payload = None
+    if Path(args.source).is_file():
+        payload, _label = _load_telemetry_payload(args.source, args.store, args.run)
+        report = causal_slice(
+            payload, anchor=anchor, value=value, max_roots=args.max_roots
+        )
+    else:
+        from repro.store import TraceBank, telemetry_view
+
+        bank = TraceBank(args.store, create=False)
+        report = slice_from_store(
+            bank, args.source, anchor=anchor, value=value,
+            max_roots=args.max_roots,
+        )
+        if args.flame or args.perfetto:
+            payload = telemetry_view(bank, report["source"]["run_id"])
+    if args.json:
+        print(canonical_json(report))
+    else:
+        print(render_slice(report), end="")
+    if args.report_out:
+        Path(args.report_out).write_text(canonical_json(report) + "\n")
+        print("wrote %s" % args.report_out)
+    if args.perfetto:
+        trace = slice_trace(payload, report)
+        Path(args.perfetto).write_text(canonical_json(trace) + "\n")
+        print("wrote %d trace event(s) to %s"
+              % (len(trace["traceEvents"]), args.perfetto))
+    if args.flame:
+        lines = slice_flamegraph_lines(payload, report)
+        Path(args.flame).write_text("".join(line + "\n" for line in lines))
+        print("wrote %d flamegraph stack(s) to %s" % (len(lines), args.flame))
+    return 0
+
+
+def _cmd_obs_diagnose(args: argparse.Namespace) -> int:
+    from repro.obs.diagnose import diagnose_archive, render_diagnose
+    from repro.obs.metrics import canonical_json
+
+    report = diagnose_archive(
+        args.store,
+        run_prefixes=args.run_prefix or None,
+        against=args.against,
+        jobs=args.jobs,
+        k=args.k,
+        eps=args.eps,
+        slice_outliers=not args.no_slice,
+    )
+    if args.json:
+        print(canonical_json(report))
+    else:
+        print(render_diagnose(report), end="")
+    if args.report_out:
+        Path(args.report_out).write_text(canonical_json(report) + "\n")
+        print("wrote %s" % args.report_out)
+    if args.fail_on_outlier and report["summary"]["outliers"] > 0:
+        return 1
+    return 0
+
+
 def _cmd_obs_check(args: argparse.Namespace) -> int:
     from repro.obs.baseline import check_history, load_history, render_check
     from repro.obs.metrics import canonical_json
@@ -899,7 +989,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_observe)
 
     p = sub.add_parser(
-        "obs", help="the regression observatory (diff/critpath/check)"
+        "obs",
+        help="the regression observatory (diff/critpath/slice/diagnose/check)",
     )
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
 
@@ -948,6 +1039,64 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--json", action="store_true",
                     help="print the canonical-JSON report")
     sp.set_defaults(fn=_cmd_obs_critpath)
+
+    sp = obs_sub.add_parser(
+        "slice", help="causal slice explaining one run's latency"
+    )
+    sp.add_argument("source", metavar="RUN",
+                    help="telemetry file or store run-id prefix")
+    add_obs_source_flags(sp)
+    anchor = sp.add_mutually_exclusive_group()
+    anchor.add_argument("--rank", type=int, default=None, metavar="N",
+                        help="anchor on rank N's track instead of the "
+                        "straggler")
+    anchor.add_argument("--op", default=None, metavar="NAME",
+                        help="anchor on the slowest instance of op NAME")
+    anchor.add_argument("--path", dest="path_anchor", default=None,
+                        metavar="GLOB",
+                        help="anchor on the events touching paths matching "
+                        "GLOB (store sources only)")
+    sp.add_argument("--max-roots", type=int, default=32, metavar="N",
+                    help="keep at most N bounding-chain roots (default 32)")
+    sp.add_argument("--json", action="store_true",
+                    help="print the canonical-JSON slice report")
+    sp.add_argument("--flame", default=None, metavar="PATH",
+                    help="write the slice's collapsed-stack flamegraph here")
+    sp.add_argument("--perfetto", default=None, metavar="PATH",
+                    help="write the slice's Chrome/Perfetto trace here")
+    sp.add_argument("--report-out", default=None, metavar="PATH",
+                    help="also write the canonical-JSON slice report here")
+    sp.set_defaults(fn=_cmd_obs_slice)
+
+    sp = obs_sub.add_parser(
+        "diagnose", help="archive-scale anomaly diagnosis over a TraceBank"
+    )
+    sp.add_argument("--store", default=".repro-store", metavar="DIR",
+                    help="TraceBank archive to diagnose (default .repro-store)")
+    sp.add_argument("--run-prefix", action="append", default=None,
+                    metavar="PREFIX",
+                    help="restrict to runs matching this run-id prefix "
+                    "(repeatable)")
+    sp.add_argument("--against", default=None, metavar="RUN",
+                    help="score every run against this baseline run (run-id "
+                    "prefix) instead of its group median")
+    sp.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="fingerprint/slice worker processes (default 1; "
+                    "the report is byte-identical for any N)")
+    sp.add_argument("--k", type=float, default=4.0, metavar="F",
+                    help="MAD multiplier in the outlier threshold (default 4)")
+    sp.add_argument("--eps", type=float, default=0.25, metavar="F",
+                    help="fingerprint-distance clustering radius (default "
+                    "0.25)")
+    sp.add_argument("--no-slice", action="store_true",
+                    help="skip auto-slicing each outlier")
+    sp.add_argument("--fail-on-outlier", action="store_true",
+                    help="exit nonzero when any run is flagged")
+    sp.add_argument("--json", action="store_true",
+                    help="print the canonical-JSON diagnosis report")
+    sp.add_argument("--report-out", default=None, metavar="PATH",
+                    help="also write the canonical-JSON diagnosis report here")
+    sp.set_defaults(fn=_cmd_obs_diagnose)
 
     sp = obs_sub.add_parser(
         "check", help="gate the latest baseline record (median/MAD)"

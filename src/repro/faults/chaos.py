@@ -423,6 +423,9 @@ def execute_fault_spec(spec: RunSpec) -> PointResult:
             "kind": "chaos",
             "scenario": schedule.name or "baseline",
             "status": traced.status,
+            # The structured schedule rides in the manifest so diagnosis
+            # can surface injected faults as root-cause candidates.
+            "faults": schedule.to_json(),
         },
     )
     telemetry = None

@@ -19,8 +19,8 @@ perturbs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Optional, Tuple
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.errors import FaultError
 
@@ -31,6 +31,7 @@ __all__ = [
     "DiskSlowdown",
     "DiskErrorStorm",
     "FaultSchedule",
+    "event_json",
 ]
 
 #: Window end used for events that never recover (no restart / no heal).
@@ -263,3 +264,34 @@ class FaultSchedule:
             return "no faults"
         parts = ["%s@%g" % (type(e).__name__, e.at) for e in self.events]
         return "%d event(s): %s" % (len(self.events), ", ".join(parts))
+
+    def to_json(self) -> Dict[str, Any]:
+        """The schedule as plain JSON, suitable for archive metadata.
+
+        Diagnosis tools read this back from a run's manifest to surface
+        the injected faults as root-cause candidates, so the shape is
+        stable: ``{"name", "events": [{"type", "window", <fields>}]}``
+        with an unbounded window end rendered as ``None`` (JSON has no
+        infinity).
+        """
+        return {
+            "name": self.name,
+            "events": [event_json(ev) for ev in self.events],
+        }
+
+
+def event_json(ev: object) -> Dict[str, Any]:
+    """One fault event as plain JSON: type name, window, and fields."""
+    if not isinstance(ev, _EVENT_TYPES):
+        raise FaultError("not a fault event: %r" % (ev,))
+    out: Dict[str, Any] = {"type": type(ev).__name__}
+    start, end = ev.window  # type: ignore[attr-defined]
+    out["window"] = [start, None if end == FOREVER else end]
+    for f in dataclass_fields(ev):
+        value = getattr(ev, f.name)
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        elif isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out

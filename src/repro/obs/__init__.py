@@ -22,7 +22,14 @@ robustness work has data instead of guesses:
   time, the slowest-rank chain, collapsed-stack flamegraph export;
 * :mod:`repro.obs.baseline` — the baseline perf sentinel:
   ``BENCH_history.jsonl`` + median/MAD change detection behind
-  ``repro obs check``.
+  ``repro obs check``;
+* :mod:`repro.obs.slice` — causal slicing (``repro obs slice``): the
+  cross-layer chain, per-layer window attribution, fault candidates and
+  ranked suspects explaining one run's latency around an anchor;
+* :mod:`repro.obs.diagnose` — archive-scale anomaly diagnosis
+  (``repro obs diagnose``): fingerprint every TraceBank run, cluster by
+  DFG-shape distance, flag outliers with median/MAD scoring, auto-slice
+  each one.
 
 Telemetry is deterministic: it is stamped exclusively with simulated time
 and recorded in dispatch order, so the same seed produces byte-identical
@@ -42,15 +49,19 @@ from repro.obs import (
     baseline,
     compare,
     critpath,
+    diagnose,
     metrics,
     perfetto,
     report,
+    slice,
     spans,
     tracepoints,
 )
 from repro.obs.baseline import append_history, check_history, make_record
 from repro.obs.compare import compare_payloads, render_diff
 from repro.obs.critpath import critical_path, flamegraph_lines
+from repro.obs.diagnose import diagnose_archive, render_diagnose
+from repro.obs.slice import causal_slice, render_slice, slice_from_store
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.perfetto import to_chrome_trace, validate_chrome_trace
 from repro.obs.report import render_payload_summary, summarize_payload
@@ -66,10 +77,17 @@ __all__ = [
     "compare",
     "critpath",
     "baseline",
+    "slice",
+    "diagnose",
     "compare_payloads",
     "render_diff",
     "critical_path",
     "flamegraph_lines",
+    "causal_slice",
+    "render_slice",
+    "slice_from_store",
+    "diagnose_archive",
+    "render_diagnose",
     "make_record",
     "append_history",
     "check_history",

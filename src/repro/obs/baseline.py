@@ -41,6 +41,9 @@ __all__ = [
     "CHECK_SCHEMA",
     "METRIC_SPECS",
     "MAD_CONSISTENCY",
+    "median",
+    "mad",
+    "robust_threshold",
     "make_record",
     "append_history",
     "load_history",
@@ -76,6 +79,10 @@ METRIC_SPECS: Dict[str, Dict[str, float]] = {
     # real format regression, so the floor is tight.
     "scan_mb_per_sec": {"direction": -1, "rel_floor": 0.30, "abs_floor": 1.0},
     "bytes_per_event": {"direction": 1, "rel_floor": 0.01, "abs_floor": 0.5},
+    # Archive diagnosis throughput (BENCH_diagnose.json): fingerprints +
+    # outlier scoring per second over archived runs.  Host-clock rate —
+    # more runs/sec is better, wide noise floor.
+    "diagnose_runs_per_sec": {"direction": -1, "rel_floor": 0.30, "abs_floor": 1.0},
 }
 
 
@@ -149,7 +156,8 @@ def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
     return records
 
 
-def _median(values: List[float]) -> float:
+def median(values: List[float]) -> float:
+    """The sample median (mean of the middle pair for even counts)."""
     ordered = sorted(values)
     n = len(ordered)
     mid = n // 2
@@ -158,8 +166,30 @@ def _median(values: List[float]) -> float:
     return 0.5 * (ordered[mid - 1] + ordered[mid])
 
 
-def _mad(values: List[float], center: float) -> float:
-    return _median([abs(v - center) for v in values])
+def mad(values: List[float], center: float) -> float:
+    """Median absolute deviation around ``center``."""
+    return median([abs(v - center) for v in values])
+
+
+def robust_threshold(
+    center: float,
+    spread: float,
+    k: float,
+    rel_floor: float,
+    abs_floor: float,
+) -> float:
+    """The repo-wide change threshold: ``max(k*1.4826*MAD, floors)``.
+
+    Shared by the baseline gate and the archive diagnosis scorer so
+    "how far from the median counts as anomalous" has exactly one
+    definition.
+    """
+    return max(k * MAD_CONSISTENCY * spread, rel_floor * abs(center), abs_floor)
+
+
+# Backwards-compatible private aliases (pre-diagnose internal names).
+_median = median
+_mad = mad
 
 
 def _series(records: List[Dict[str, Any]]) -> Dict[Any, List[float]]:
@@ -217,22 +247,20 @@ def check_history(
                        threshold=None, deviation=None)
             rows.append(row)
             continue
-        median = _median(priors)
-        mad = _mad(priors, median)
-        threshold = max(
-            k * MAD_CONSISTENCY * mad,
-            spec["rel_floor"] * abs(median),
-            spec["abs_floor"],
+        center = median(priors)
+        spread = mad(priors, center)
+        threshold = robust_threshold(
+            center, spread, k, spec["rel_floor"], spec["abs_floor"]
         )
         # Positive deviation = moved in the metric's worse direction.
-        deviation = spec["direction"] * (latest - median)
+        deviation = spec["direction"] * (latest - center)
         if deviation > threshold:
             status = "regression"
         elif deviation < -threshold:
             status = "improvement"
         else:
             status = "ok"
-        row.update(status=status, median=median, mad=mad,
+        row.update(status=status, median=center, mad=spread,
                    threshold=threshold, deviation=deviation)
         rows.append(row)
     regressions = [r for r in rows if r["status"] == "regression"]

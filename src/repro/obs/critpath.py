@@ -171,18 +171,20 @@ def build_forest(
 
     Spans on one track nest by interval containment (calls on a rank are
     sequential, so a span starting inside another completes inside it).
-    Within a track, spans sort by ``(start, -duration, record order)`` —
-    a parent precedes its children, and the record order breaks exact
-    ties deterministically.
+    Within a track, spans sort by ``(start, -duration, name, record
+    order)`` — a parent precedes its children, and exact ``(start,
+    duration)`` ties (zero-duration markers especially) order by *name*
+    before record order, so collapsed stacks come out byte-identical no
+    matter how the recorder happened to interleave the tied spans.
     """
-    by_track: Dict[Tuple[int, int], List[Tuple[float, float, int, str, str]]] = {}
+    by_track: Dict[Tuple[int, int], List[Tuple[float, float, str, int, str]]] = {}
     for seq, (pid, tid, name, cat, ts, dur) in enumerate(spans):
-        by_track.setdefault((pid, tid), []).append((ts, -dur, seq, name, cat))
+        by_track.setdefault((pid, tid), []).append((ts, -dur, name, seq, cat))
     forest: Dict[Tuple[int, int], List[SpanNode]] = {}
     for track in sorted(by_track):
         roots: List[SpanNode] = []
         stack: List[SpanNode] = []
-        for ts, neg_dur, _seq, name, cat in sorted(by_track[track]):
+        for ts, neg_dur, name, _seq, cat in sorted(by_track[track]):
             node = SpanNode(name, cat, ts, -neg_dur)
             while stack and node.ts >= stack[-1].end and not (
                 node.dur == 0.0 and node.ts == stack[-1].end and stack[-1].dur > 0.0

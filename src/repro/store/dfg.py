@@ -40,11 +40,15 @@ __all__ = ["DFG_SCHEMA", "build_dfg", "render_dfg_text", "render_dfg_dot"]
 DFG_SCHEMA = "repro/store/dfg/v1"
 
 
-def _dfg_columnar_names(blob: bytes, rank: int, plan: Dict[str, Any]) -> List[str]:
-    """The filtered op-name sequence of one columnar shard, capture order.
+def _dfg_columnar_seq(
+    blob: bytes, rank: int, plan: Dict[str, Any]
+) -> List[Tuple[str, float, float]]:
+    """The filtered ``(name, timestamp, duration)`` sequence of one
+    columnar shard, capture order.
 
-    The graph only needs the ``name`` column (plus whatever the filters
-    read); everything else in the segment is skipped by frame length.
+    The graph needs the ``name`` column and the two time columns that
+    weight its edges (plus whatever the filters read); everything else
+    in the segment is skipped by frame length.
     """
     header = read_header(blob)
     glob = plan["path_glob"]
@@ -56,14 +60,14 @@ def _dfg_columnar_names(blob: bytes, rank: int, plan: Dict[str, Any]) -> List[st
     if _columnar_prune(header, rank, plan, matched_paths):
         return []
     n = int(header["n_events"])
-    need = {"name"}
+    need = {"name", "timestamp", "duration"}
     need.update(_filter_columns(plan))
     cols = read_columns(blob, sorted(need))
     sel = _columnar_selection(n, cols, plan, matched_paths)
-    names = cols["name"]
+    names, stamps, durs = cols["name"], cols["timestamp"], cols["duration"]
     if sel is None:
-        return names
-    return [names[i] for i in sel]
+        sel = range(n)
+    return [(names[i], stamps[i], durs[i]) for i in sel]
 
 
 def _dfg_shard(task: Tuple[str, str, int, str, Dict[str, Any]]) -> Dict[str, Any]:
@@ -80,27 +84,41 @@ def _dfg_shard(task: Tuple[str, str, int, str, Dict[str, Any]]) -> Dict[str, Any
         if plan[key] is not None:
             plan[key] = set(plan[key])
     if is_columnar(blob):
-        seq = _dfg_columnar_names(blob, rank, plan)
+        seq = _dfg_columnar_seq(blob, rank, plan)
     else:
         tf = decode_segment(blob, expected_sha=sha)
-        seq = [e.name for e in tf.events if _event_matches(e, rank, plan)]
+        seq = [
+            (e.name, e.timestamp, e.duration)
+            for e in tf.events
+            if _event_matches(e, rank, plan)
+        ]
     nodes: Dict[str, int] = {}
     edges: Dict[str, Dict[str, int]] = {}
-    for name in seq:
+    times: Dict[str, Dict[str, List[float]]] = {}
+    for name, _ts, _dur in seq:
         nodes[name] = nodes.get(name, 0) + 1
-    for a, b in zip(seq, seq[1:]):
+    for (a, a_ts, a_dur), (b, b_ts, _b_dur) in zip(seq, seq[1:]):
         row = edges.setdefault(a, {})
         row[b] = row.get(b, 0) + 1
+        # Inter-event gap: idle time between a's completion and b's
+        # start.  Negative gaps (overlapping captures) are kept raw —
+        # they are themselves a signal.
+        gap = (b_ts or 0.0) - ((a_ts or 0.0) + (a_dur or 0.0))
+        cell = times.setdefault(a, {}).setdefault(b, [0.0, gap, gap])
+        cell[0] += gap
+        cell[1] = min(cell[1], gap)
+        cell[2] = max(cell[2], gap)
     out: Dict[str, Any] = {
         "matched": len(seq),
         "nodes": nodes,
         "edges": edges,
+        "edge_times": times,
         "starts": {},
         "ends": {},
     }
     if seq:
-        out["starts"] = {seq[0]: 1}
-        out["ends"] = {seq[-1]: 1}
+        out["starts"] = {seq[0][0]: 1}
+        out["ends"] = {seq[-1][0]: 1}
     return out
 
 
@@ -109,8 +127,12 @@ def build_dfg(bank: TraceBank, query: Query, jobs: int = 1) -> Dict[str, Any]:
 
     The aggregate choice in ``query.agg`` is ignored — only its filters
     and run selection apply.  Returns a canonical-JSON report with node
-    counts, edge weights, and start/end op tallies (one start and one end
-    per non-empty shard sequence); byte-identical for any ``jobs``.
+    counts, edge weights, start/end op tallies (one start and one end
+    per non-empty shard sequence), and per-edge time attribution under
+    ``graph["edge_times"]`` (count / sum / mean / min / max of the
+    inter-event gap per directly-follows edge — the idle seconds between
+    the first op's completion and the next op's start, summed in shard
+    order); byte-identical for any ``jobs``.
     """
     from repro.harness.parallel import parallel_map
 
@@ -121,6 +143,7 @@ def build_dfg(bank: TraceBank, query: Query, jobs: int = 1) -> Dict[str, Any]:
     partials = parallel_map(_dfg_shard, tasks, jobs=jobs)
     nodes: Dict[str, int] = {}
     edges: Dict[str, Dict[str, int]] = {}
+    times: Dict[str, Dict[str, List[float]]] = {}
     starts: Dict[str, int] = {}
     ends: Dict[str, int] = {}
     matched = 0
@@ -132,10 +155,28 @@ def build_dfg(bank: TraceBank, query: Query, jobs: int = 1) -> Dict[str, Any]:
             dst = edges.setdefault(a, {})
             for b, n in sorted(row.items()):
                 dst[b] = dst.get(b, 0) + n
+        for a, row in sorted(p["edge_times"].items()):
+            dst_t = times.setdefault(a, {})
+            for b, (gap_sum, gap_min, gap_max) in sorted(row.items()):
+                cell = dst_t.setdefault(b, [0.0, gap_min, gap_max])
+                cell[0] += gap_sum
+                cell[1] = min(cell[1], gap_min)
+                cell[2] = max(cell[2], gap_max)
         for name, n in sorted(p["starts"].items()):
             starts[name] = starts.get(name, 0) + n
         for name, n in sorted(p["ends"].items()):
             ends[name] = ends.get(name, 0) + n
+    edge_times: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for a, row in sorted(times.items()):
+        for b, (gap_sum, gap_min, gap_max) in sorted(row.items()):
+            count = edges[a][b]
+            edge_times.setdefault(a, {})[b] = {
+                "count": count,
+                "sum": gap_sum,
+                "mean": gap_sum / count,
+                "min": gap_min,
+                "max": gap_max,
+            }
     col = STATE.collector
     if col is not None:
         col.store_scan(scan["segments_scanned"], scan["segments_pruned"], matched)
@@ -146,6 +187,7 @@ def build_dfg(bank: TraceBank, query: Query, jobs: int = 1) -> Dict[str, Any]:
         "graph": {
             "nodes": dict(sorted(nodes.items())),
             "edges": {a: dict(sorted(row.items())) for a, row in sorted(edges.items())},
+            "edge_times": edge_times,
             "starts": dict(sorted(starts.items())),
             "ends": dict(sorted(ends.items())),
             "n_nodes": len(nodes),
@@ -167,8 +209,13 @@ def render_dfg_text(report: Dict[str, Any]) -> str:
         for b, n in row.items():
             flat.append((n, a, b))
     flat.sort(key=lambda t: (-t[0], t[1], t[2]))
+    edge_times = graph.get("edge_times", {})
     for n, a, b in flat:
-        lines.append("  %-24s -> %-24s x%d" % (a, b, n))
+        line = "  %-24s -> %-24s x%d" % (a, b, n)
+        cell = edge_times.get(a, {}).get(b)
+        if cell is not None:
+            line += "  (mean gap %.6f s)" % cell["mean"]
+        lines.append(line)
     if graph["starts"]:
         lines.append(
             "starts: " + ", ".join("%s x%d" % kv for kv in graph["starts"].items())

@@ -30,6 +30,7 @@ def _record(elapsed_traced=1.0, events_per_sec=1e6, **extra):
         "wall_time_per_sim_second": 0.2,
         "scan_mb_per_sec": 400.0,
         "bytes_per_event": 40.0,
+        "diagnose_runs_per_sec": 50.0,
     }
     point.update(extra)
     return make_record([point], quick=True, nprocs=4, jobs=1)

@@ -83,6 +83,33 @@ class TestBuildForest:
         (root,) = forest[(0, 0)]
         assert [c.name for c in root.children] == ["marker"]
 
+    def test_tied_zero_duration_spans_order_by_name_not_record_order(self):
+        # Two zero-duration markers at the same instant: the recorder may
+        # interleave them either way, but the recovered forest (and every
+        # artifact derived from it) must not depend on record order.
+        tied = [
+            (0, 0, "b_marker", "syscall", 0.001, 0.0),
+            (0, 0, "a_marker", "syscall", 0.001, 0.0),
+        ]
+        for spans in (tied, list(reversed(tied))):
+            forest = build_forest(payload_spans(make_payload(spans)))
+            assert [r.name for r in forest[(0, 0)]] == ["a_marker", "b_marker"]
+
+    def test_tied_identical_intervals_nest_deterministically(self):
+        tied = [
+            (0, 0, "beta", "libcall", 0.0, 0.002),
+            (0, 0, "alpha", "libcall", 0.0, 0.002),
+        ]
+        reports = [
+            critical_path(make_payload(spans))
+            for spans in (tied, list(reversed(tied)))
+        ]
+        assert canonical_json(reports[0]) == canonical_json(reports[1])
+        forest = build_forest(payload_spans(make_payload(tied)))
+        (root,) = forest[(0, 0)]
+        assert root.name == "alpha"  # name breaks the (ts, dur) tie
+        assert [c.name for c in root.children] == ["beta"]
+
     def test_self_time_clamps_at_zero(self):
         node = SpanNode("n", "syscall", 0.0, 0.001)
         node.children.append(SpanNode("c", "syscall", 0.0, 0.002))

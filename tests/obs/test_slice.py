@@ -1,0 +1,217 @@
+"""Causal slicing: anchors, window rollup, chain, faults, renderings."""
+
+import pytest
+
+from obsutil import make_payload
+
+from repro.errors import TelemetryError
+from repro.obs.metrics import canonical_json
+from repro.obs.slice import (
+    ANCHOR_KINDS,
+    FAULT_SUSPECT_LAYER,
+    SLICE_SCHEMA,
+    causal_slice,
+    render_slice,
+    slice_flamegraph_lines,
+    slice_trace,
+)
+
+# Rank 0 finishes at 0.012 (MPI write wrapping a data syscall, then a
+# close); rank 1 is the straggler at 0.016 with a bigger write.
+SPANS = [
+    (0, 0, "MPI_File_write_at", "libcall", 0.0, 0.010),
+    (0, 0, "SYS_write", "syscall", 0.002, 0.006),
+    (0, 0, "SYS_close", "syscall", 0.011, 0.001),
+    (1, 1, "MPI_File_write_at", "libcall", 0.0, 0.016),
+    (1, 1, "SYS_write", "syscall", 0.002, 0.012),
+]
+
+EVENTS = [
+    {"rank": 0, "ts": 0.002, "dur": 0.006, "path": "/pfs/a"},
+    {"rank": 1, "ts": 0.002, "dur": 0.012, "path": "/pfs/b"},
+    {"rank": 0, "ts": 0.011, "dur": 0.001, "path": "/scratch/c"},
+]
+
+
+class TestAnchors:
+    def test_straggler_default_picks_latest_track(self):
+        report = causal_slice(make_payload(SPANS))
+        assert report["schema"] == SLICE_SCHEMA
+        assert report["anchor"] == {"kind": "straggler", "value": None}
+        assert (report["track"]["node"], report["track"]["rank"]) == (1, 1)
+        assert report["window"] == [pytest.approx(0.0), pytest.approx(0.016)]
+        assert report["elapsed"] == pytest.approx(0.016)
+
+    def test_rank_anchor_selects_that_track(self):
+        report = causal_slice(make_payload(SPANS), anchor="rank", value=0)
+        assert report["track"]["rank"] == 0
+        assert report["window"][1] == pytest.approx(0.012)
+
+    def test_missing_rank_names_the_present_ones(self):
+        with pytest.raises(TelemetryError, match=r"rank 9.*\[0, 1\]"):
+            causal_slice(make_payload(SPANS), anchor="rank", value=9)
+
+    def test_op_anchor_takes_the_slowest_instance(self):
+        report = causal_slice(make_payload(SPANS), anchor="op", value="SYS_write")
+        assert report["track"]["rank"] == 1  # 0.012 beats 0.006
+        assert report["anchor_span"]["name"] == "SYS_write"
+        assert report["window"] == [pytest.approx(0.002), pytest.approx(0.014)]
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(TelemetryError, match="no span named"):
+            causal_slice(make_payload(SPANS), anchor="op", value="SYS_nope")
+
+    def test_path_anchor_uses_event_paths(self):
+        report = causal_slice(
+            make_payload(SPANS), anchor="path", value="/pfs/*", events=EVENTS
+        )
+        # Rank 1 owns more matching-path time; the window spans the matches.
+        assert report["track"]["rank"] == 1
+        assert report["window"] == [pytest.approx(0.002), pytest.approx(0.014)]
+
+    def test_path_anchor_without_events_raises(self):
+        with pytest.raises(TelemetryError, match="store-archived"):
+            causal_slice(make_payload(SPANS), anchor="path", value="/pfs/*")
+
+    def test_path_anchor_with_no_matches_raises(self):
+        with pytest.raises(TelemetryError, match="no events with a path"):
+            causal_slice(
+                make_payload(SPANS), anchor="path", value="/nope/*", events=EVENTS
+            )
+
+    def test_unknown_anchor_kind_raises(self):
+        with pytest.raises(TelemetryError, match="unknown anchor kind"):
+            causal_slice(make_payload(SPANS), anchor="vibe")
+        assert set(ANCHOR_KINDS) == {"straggler", "rank", "op", "path"}
+
+    def test_empty_payload_raises(self):
+        with pytest.raises(TelemetryError, match="--telemetry"):
+            causal_slice(make_payload([]))
+
+
+class TestAttribution:
+    def test_window_layers_are_self_time(self):
+        report = causal_slice(make_payload(SPANS), anchor="rank", value=0)
+        track = report["layers"]["track"]
+        assert track["simmpi"] == pytest.approx(0.004)  # libcall minus child
+        assert track["simfs"] == pytest.approx(0.006)
+        assert track["simos"] == pytest.approx(0.001)
+        # The all-tracks rollup adds rank 1's time inside the window.
+        assert report["layers"]["all"]["simfs"] == pytest.approx(0.006 + 0.012)
+
+    def test_chain_extends_roots_down_dominant_descendants(self):
+        report = causal_slice(make_payload(SPANS))
+        names = [(link["depth"], link["name"]) for link in report["chain"]]
+        assert names == [(0, "MPI_File_write_at"), (1, "SYS_write")]
+        assert report["layers_crossed"] == ["simfs", "simmpi"]
+        assert report["chain_coverage"] == pytest.approx(1.0)
+        assert report["roots_dropped"] == 0
+
+    def test_rank0_chain_crosses_three_layers(self):
+        report = causal_slice(make_payload(SPANS), anchor="rank", value=0)
+        assert report["layers_crossed"] == ["simfs", "simmpi", "simos"]
+
+    def test_max_roots_truncation_keeps_widest_in_time_order(self):
+        spans = [
+            (0, 0, "op%d" % i, "syscall", 0.01 * i, 0.001 * (i + 1))
+            for i in range(5)
+        ]
+        report = causal_slice(make_payload(spans), max_roots=3)
+        assert report["chain_roots"] == 3
+        assert report["roots_dropped"] == 2
+        kept = [link["name"] for link in report["chain"]]
+        assert kept == ["op2", "op3", "op4"]  # widest three, time-sorted
+
+    def test_record_order_does_not_matter(self):
+        a = causal_slice(make_payload(SPANS))
+        b = causal_slice(make_payload(list(reversed(SPANS))))
+        assert canonical_json(a) == canonical_json(b)
+
+
+class TestFaultSuspects:
+    FAULT = {
+        "type": "DiskSlowdown",
+        "window": [0.0, 0.02],
+        "at": 0.0,
+        "duration": 0.02,
+        "extra_latency": 0.002,
+        "mount": "/pfs",
+    }
+
+    def test_overlapping_fault_boosts_its_layer_to_the_top(self):
+        report = causal_slice(
+            make_payload(SPANS), anchor="rank", value=0,
+            fault_events=[self.FAULT],
+        )
+        assert report["fault_candidates"][0]["type"] == "DiskSlowdown"
+        top = report["suspects"][0]
+        assert top["layer"] == "simfs"
+        assert top["fault_overlap"] is True
+        assert top["score"] == pytest.approx(1.0 + 0.006 / 0.011)
+
+    def test_fault_window_is_shifted_by_the_capture_origin(self):
+        # Archived stamps carry an epoch base; fault windows are relative
+        # to sim start.  The overlap test must shift by the origin.
+        shifted = [(p, t, n, c, ts + 100.0, d) for p, t, n, c, ts, d in SPANS]
+        report = causal_slice(
+            make_payload(shifted), anchor="rank", value=0,
+            fault_events=[self.FAULT],
+        )
+        assert len(report["fault_candidates"]) == 1
+        assert report["window_rel"] == [pytest.approx(0.0), pytest.approx(0.012)]
+
+    def test_non_overlapping_fault_is_dropped(self):
+        late = dict(self.FAULT, window=[5.0, 6.0])
+        report = causal_slice(make_payload(SPANS), fault_events=[late])
+        assert report["fault_candidates"] == []
+        assert all(not s["fault_overlap"] for s in report["suspects"])
+
+    def test_unhealed_fault_window_overlaps_forever(self):
+        cut = {"type": "NetworkPartition", "window": [0.001, None], "nodes": [1]}
+        report = causal_slice(make_payload(SPANS), fault_events=[cut])
+        assert report["fault_candidates"][0]["layer"] == "network"
+        # Network had no self time, but the fault still indicts it.
+        assert report["suspects"][0]["layer"] == "network"
+        assert report["suspects"][0]["share"] == 0.0
+
+    def test_every_fault_type_maps_to_a_stack_layer(self):
+        assert set(FAULT_SUSPECT_LAYER) == {
+            "DiskSlowdown", "DiskErrorStorm", "NetworkPartition",
+            "LinkDegradation", "NodeCrash",
+        }
+
+
+class TestRenderings:
+    def test_text_rendering_names_the_parts(self):
+        report = causal_slice(
+            make_payload(SPANS), fault_events=[TestFaultSuspects.FAULT],
+            meta={"scenario": "disk-storm", "seed": 7},
+        )
+        text = render_slice(report)
+        assert "causal slice [straggler]" in text
+        assert "scenario=disk-storm" in text
+        assert "fault-plane candidates" in text
+        assert "bounding chain" in text
+        assert "suspects (ranked):" in text
+        assert "[fault overlap]" in text
+
+    def test_slice_trace_keeps_anchor_track_window_only(self):
+        payload = make_payload(SPANS)
+        report = causal_slice(payload, anchor="rank", value=0)
+        trace = slice_trace(payload, report)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert xs and all(e["pid"] == 0 for e in xs)
+        assert {e["name"] for e in xs} == {
+            "MPI_File_write_at", "SYS_write", "SYS_close"
+        }
+        # Metadata events survive so track names render in Perfetto.
+        assert any(e["ph"] == "M" for e in trace["traceEvents"])
+
+    def test_slice_flamegraph_lines_cover_the_chain(self):
+        payload = make_payload(SPANS)
+        report = causal_slice(payload)
+        lines = slice_flamegraph_lines(payload, report)
+        assert lines == sorted(lines)
+        assert any("MPI_File_write_at;SYS_write" in line for line in lines)
+        # Rank 0 is outside the anchor track: no stacks from it.
+        assert all(line.startswith("node1") for line in lines)

@@ -1,5 +1,7 @@
 """Directly-follows-graph construction over archived segments."""
 
+import pytest
+
 from storeutil import make_event
 
 from repro.obs.metrics import canonical_json
@@ -67,6 +69,78 @@ class TestGraphShape:
         graph = build_dfg(bank, Query.create(names=["nope"]))["graph"]
         assert graph["nodes"] == {} and graph["edges"] == {}
         assert graph["n_nodes"] == 0 and graph["n_edges"] == 0
+
+
+class TestEdgeTimes:
+    def test_mean_gap_is_idle_time_between_ops(self, tmp_path):
+        # seq_file spaces events 0.01 s apart with 0.001 s durations:
+        # every directly-follows edge carries a 0.009 s idle gap.
+        bank = make_bank(
+            tmp_path, [seq_file(["open", "write", "write", "close"], rank=0)]
+        )
+        times = build_dfg(bank, Query())["graph"]["edge_times"]
+        cell = times["open"]["write"]
+        assert cell["count"] == 1
+        assert cell["mean"] == pytest.approx(0.009)
+        assert cell["sum"] == pytest.approx(0.009)
+        assert cell["min"] == cell["max"] == pytest.approx(0.009)
+        assert times["write"]["write"]["mean"] == pytest.approx(0.009)
+
+    def test_repeated_edge_tracks_min_max_and_mean(self, tmp_path):
+        events = [
+            make_event(name=n, ts=ts, rank=0)
+            for n, ts in [("x", 0.0), ("y", 0.004), ("x", 0.01), ("y", 0.02)]
+        ]
+        bank = make_bank(
+            tmp_path, [TraceFile(events, rank=0, framework="lanl-trace")]
+        )
+        cell = build_dfg(bank, Query())["graph"]["edge_times"]["x"]["y"]
+        # Gaps: 0.004-0.001 = 0.003 and 0.02-0.011 = 0.009.
+        assert cell["count"] == 2
+        assert cell["min"] == pytest.approx(0.003)
+        assert cell["max"] == pytest.approx(0.009)
+        assert cell["sum"] == pytest.approx(0.012)
+        assert cell["mean"] == pytest.approx(0.006)
+
+    def test_negative_gap_from_overlapping_captures_kept_raw(self, tmp_path):
+        events = [
+            make_event(name="a", ts=0.0, dur=0.01, rank=0),
+            make_event(name="b", ts=0.005, rank=0),
+        ]
+        bank = make_bank(
+            tmp_path, [TraceFile(events, rank=0, framework="lanl-trace")]
+        )
+        cell = build_dfg(bank, Query())["graph"]["edge_times"]["a"]["b"]
+        assert cell["mean"] == pytest.approx(-0.005)
+
+    def test_counts_agree_with_edge_weights(self, tmp_path):
+        bank = make_bank(
+            tmp_path,
+            [seq_file(["open", "write", "write", "close"], rank=r) for r in range(3)],
+        )
+        graph = build_dfg(bank, Query())["graph"]
+        for a, row in graph["edge_times"].items():
+            for b, cell in row.items():
+                assert cell["count"] == graph["edges"][a][b]
+
+    def test_columnar_and_row_codecs_attribute_identically(self, tmp_path):
+        files = {
+            r: seq_file(["open", "write", "close"], rank=r) for r in range(2)
+        }
+        meta = {"workload": "dfg"}
+        b1 = TraceBank(tmp_path / "v1")
+        b1.ingest_bundle(TraceBundle(files=files, metadata=meta), codec="v1")
+        b2 = TraceBank(tmp_path / "v2")
+        b2.ingest_bundle(TraceBundle(files=files, metadata=meta), codec="v2")
+        g1 = build_dfg(b1, Query())["graph"]
+        g2 = build_dfg(b2, Query())["graph"]
+        assert canonical_json(g1["edge_times"]) == canonical_json(g2["edge_times"])
+        assert canonical_json(g1["edges"]) == canonical_json(g2["edges"])
+
+    def test_render_shows_mean_gap(self, tmp_path):
+        bank = make_bank(tmp_path, [seq_file(["open", "close"], rank=0)])
+        text = render_dfg_text(build_dfg(bank, Query()))
+        assert "(mean gap 0.009000 s)" in text
 
 
 class TestDeterminismAndRender:

@@ -1,4 +1,5 @@
-"""CLI observatory flow: figures --baseline, obs diff/critpath/check."""
+"""CLI observatory flow: figures --baseline, obs diff/critpath/slice/
+diagnose/check."""
 
 import contextlib
 import json
@@ -177,6 +178,96 @@ class TestObsCritpath:
         report = json.loads(capsys.readouterr().out)
         assert report["schema"] == "repro/obs/critpath/v1"
         assert report["straggler"] is not None
+
+
+class TestObsSlice:
+    def test_store_source_with_all_exports(self, sweep_dir, capsys, tmp_path):
+        from repro.store import TraceBank
+
+        store = sweep_dir / ".repro-store"
+        run_id = TraceBank(store, create=False).run_ids()[0]
+        flame = tmp_path / "slice.folded"
+        perfetto = tmp_path / "slice.trace.json"
+        report_out = tmp_path / "slice.json"
+        assert main([
+            "obs", "slice", run_id[:12], "--store", str(store),
+            "--flame", str(flame), "--perfetto", str(perfetto),
+            "--report-out", str(report_out),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "causal slice [straggler]" in out
+        assert "suspects (ranked):" in out
+        report = json.loads(report_out.read_text())
+        assert report["schema"] == "repro/obs/slice/v1"
+        assert report["source"] == {"kind": "store", "run_id": run_id}
+        assert report["chain"]
+        assert report["dfg_context"] is not None
+        trace = json.loads(perfetto.read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        stacks = flame.read_text().splitlines()
+        assert stacks == sorted(stacks)
+
+    def test_file_source_with_rank_anchor(self, sweep_dir, capsys):
+        artifact = sweep_dir / "telemetry" / "fig2_bs65536.telemetry.json"
+        assert main(["obs", "slice", str(artifact), "--rank", "0",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["anchor"] == {"kind": "rank", "value": 0}
+        assert report["track"]["rank"] == 0
+        assert report["suspects"]
+
+    def test_path_anchor_needs_a_store_source(self, sweep_dir, capsys):
+        from repro.store import TraceBank
+
+        store = sweep_dir / ".repro-store"
+        run_id = TraceBank(store, create=False).run_ids()[0]
+        assert main(["obs", "slice", run_id[:12], "--store", str(store),
+                     "--path", "/pfs/*", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["anchor"]["kind"] == "path"
+        artifact = sweep_dir / "telemetry" / "fig2_bs65536.telemetry.json"
+        assert main(["obs", "slice", str(artifact), "--path", "/pfs/*"]) == 1
+        assert "store-archived" in capsys.readouterr().err
+
+    def test_anchor_flags_are_mutually_exclusive(self, sweep_dir, capsys):
+        with pytest.raises(SystemExit):
+            main(["obs", "slice", "whatever", "--rank", "0", "--op", "x"])
+
+    def test_unknown_prefix_is_an_error(self, sweep_dir, capsys):
+        assert main(["obs", "slice", "zzzzzz", "--store",
+                     str(sweep_dir / ".repro-store")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObsDiagnose:
+    def test_diagnose_smoke_over_the_sweep_archive(self, sweep_dir, capsys,
+                                                   tmp_path):
+        # The figure sweep archives six singleton groups (one per figure
+        # point): nothing is comparable, so nothing may be flagged.
+        report_out = tmp_path / "diagnose.json"
+        assert main([
+            "obs", "diagnose", "--store", str(sweep_dir / ".repro-store"),
+            "--jobs", "2", "--report-out", str(report_out),
+            "--fail-on-outlier",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "diagnosed 6 run(s)" in out
+        report = json.loads(report_out.read_text())
+        assert report["schema"] == "repro/obs/diagnose/v1"
+        assert report["summary"]["outliers"] == 0
+        assert report["summary"]["insufficient_groups"] == 6
+
+    def test_json_output_is_canonical(self, sweep_dir, capsys):
+        assert main(["obs", "diagnose", "--store",
+                     str(sweep_dir / ".repro-store"), "--json"]) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out)
+        assert out.strip() == canonical_json(report)
+
+    def test_missing_store_is_an_error(self, tmp_path, capsys):
+        assert main(["obs", "diagnose", "--store",
+                     str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestObsCheck:
