@@ -71,6 +71,14 @@ Commands:
     directly-follows graphs over the archive (``--jobs`` fans shard scans
     over processes with byte-identical output), verify end-to-end
     integrity, and garbage-collect unreferenced segments.
+``service serve|ingest|query|loadgen``
+    TraceBank as a service: ``serve`` boots the stdlib-asyncio HTTP API
+    (per-tenant namespaces over one shared segment pool, write-ahead
+    ingest queue with 429 backpressure); ``ingest``/``query`` are thin
+    HTTP clients (a service query answer is byte-identical to ``store
+    query --json`` over the same namespace); ``loadgen`` hammers a live
+    server with a deterministic multi-client ingest/query mix and writes
+    ``BENCH_service.json`` (req/s, p50/p99 latency, dedup ratio).
 """
 
 from __future__ import annotations
@@ -831,6 +839,166 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- service commands --------------------------------------------------------
+
+
+def _split_url(url: str) -> "tuple[str, int]":
+    from urllib.parse import urlsplit
+
+    from repro.errors import ServiceError
+
+    parts = urlsplit(url if "//" in url else "http://" + url)
+    if not parts.hostname:
+        raise ServiceError("bad service URL %r" % url)
+    return parts.hostname, parts.port or 80
+
+
+def _http_request(url: str, method: str = "GET", body: bytes = b""):
+    """One stdlib HTTP round trip -> (status, headers, body bytes)."""
+    import http.client
+    from urllib.parse import urlsplit
+
+    from repro.errors import ServiceError
+
+    parts = urlsplit(url)
+    if parts.scheme not in ("http", ""):
+        raise ServiceError("only http:// service URLs are supported")
+    conn = http.client.HTTPConnection(
+        parts.hostname or "127.0.0.1", parts.port or 80, timeout=60
+    )
+    target = parts.path + ("?" + parts.query if parts.query else "")
+    try:
+        conn.request(method, target or "/", body=body or None,
+                     headers={"Content-Length": str(len(body))})
+        resp = conn.getresponse()
+        payload = resp.read()
+        return resp.status, dict(resp.getheaders()), payload
+    except (ConnectionError, OSError) as exc:
+        raise ServiceError("cannot reach %s: %s" % (url, exc)) from None
+    finally:
+        conn.close()
+
+
+def _cmd_service_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        queue_capacity=args.queue_capacity,
+        max_body_bytes=args.max_body_bytes,
+        query_jobs=args.jobs,
+        commit_workers=args.workers,
+    )
+    return 0
+
+
+def _cmd_service_ingest(args: argparse.Namespace) -> int:
+    import json as _json
+
+    for i, name in enumerate(args.traces):
+        body = Path(name).read_bytes()
+        tf = _load_trace(Path(name))
+        rank = tf.rank if tf.rank is not None else i
+        target = "%s/v1/t/%s/ingest?sync=1&rank=%d" % (
+            args.url.rstrip("/"), args.tenant, int(rank),
+        )
+        for item in args.meta or []:
+            key, sep, value = item.partition("=")
+            if sep and key:
+                from urllib.parse import quote_plus
+
+                target += "&meta.%s=%s" % (quote_plus(key), quote_plus(value))
+        status, _headers, payload = _http_request(target, "POST", body)
+        if status != 200:
+            print("error: ingest of %s failed (%d): %s"
+                  % (name, status, payload.decode("utf-8", "replace").strip()),
+                  file=sys.stderr)
+            return 1
+        result = _json.loads(payload)
+        print(
+            "ingested run %s into tenant %s: %d segment(s) (%d new, %d deduped)"
+            % (
+                result["run_id"][:12],
+                args.tenant,
+                result["segments"],
+                result["new_segments"],
+                result["deduped_segments"],
+            )
+        )
+    return 0
+
+
+def _cmd_service_query(args: argparse.Namespace) -> int:
+    from urllib.parse import quote_plus
+
+    pairs = [("agg", args.agg)]
+    for rank in args.ranks or []:
+        pairs.append(("ranks", str(rank)))
+    for op in args.ops or []:
+        pairs.append(("ops", op))
+    for layer in args.layers or []:
+        pairs.append(("layers", layer))
+    if args.path_glob is not None:
+        pairs.append(("path_glob", args.path_glob))
+    if args.since is not None:
+        pairs.append(("since", repr(args.since)))
+    if args.until is not None:
+        pairs.append(("until", repr(args.until)))
+    for item in args.where or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            from repro.errors import StoreQueryError
+
+            raise StoreQueryError("--where expects key=value, got %r" % item)
+        pairs.append(("where." + key, value))
+    for run in args.runs or []:
+        pairs.append(("runs", run))
+    pairs.append(("window", repr(args.window)))
+    if args.limit is not None:
+        pairs.append(("limit", str(args.limit)))
+    target = "%s/v1/t/%s/query?%s" % (
+        args.url.rstrip("/"),
+        args.tenant,
+        "&".join("%s=%s" % (quote_plus(k), quote_plus(v)) for k, v in pairs),
+    )
+    status, _headers, payload = _http_request(target)
+    if status != 200:
+        print("error: query failed (%d): %s"
+              % (status, payload.decode("utf-8", "replace").strip()),
+              file=sys.stderr)
+        return 1
+    sys.stdout.write(payload.decode("utf-8"))
+    return 0
+
+
+def _cmd_service_loadgen(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import canonical_json
+    from repro.service import build_plan, run_loadgen, write_bench
+
+    host, port = _split_url(args.url)
+    plan = build_plan(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        tenants=args.tenants,
+        payload_pool=args.payloads,
+        ingest_fraction=args.ingest_fraction,
+        seed=args.seed,
+        payload_events=args.payload_events,
+    )
+    print(
+        "loadgen: %d client(s) x %d request(s) against http://%s:%d (seed %d)"
+        % (args.clients, args.requests, host, port, args.seed)
+    )
+    result = run_loadgen(host, port, plan)
+    report = write_bench(result, args.out) if args.out else result.report()
+    print(canonical_json(report))
+    if args.out:
+        print("wrote %s" % args.out)
+    return 1 if result.errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree (see module docstring)."""
     parser = argparse.ArgumentParser(
@@ -1226,6 +1394,87 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--dry-run", action="store_true",
                     help="report what would be removed without deleting")
     sp.set_defaults(fn=_cmd_store_gc)
+
+    p = sub.add_parser(
+        "service",
+        help="TraceBank as a service (serve/ingest/query/loadgen)",
+    )
+    service_sub = p.add_subparsers(dest="service_command", required=True)
+
+    def add_service_url(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--url", default="http://127.0.0.1:8080",
+                        metavar="URL",
+                        help="service base URL (default http://127.0.0.1:8080)")
+
+    sp = service_sub.add_parser(
+        "serve", help="boot the multi-tenant HTTP API over a store root"
+    )
+    sp.add_argument("--store", default=".repro-store", metavar="DIR",
+                    help="service store root (default .repro-store)")
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=8080,
+                    help="listen port (0 picks a free one; default 8080)")
+    sp.add_argument("--queue-capacity", type=int, default=256, metavar="N",
+                    help="max in-flight ingest entries before 429 "
+                    "(default 256)")
+    sp.add_argument("--max-body-bytes", type=int, default=32 << 20,
+                    metavar="N", help="largest accepted upload (default 32MiB)")
+    sp.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="parallel shard scans per query (default 1)")
+    sp.add_argument("--workers", type=int, default=2, metavar="N",
+                    help="concurrent ingest commit workers (default 2)")
+    sp.set_defaults(fn=_cmd_service_serve)
+
+    sp = service_sub.add_parser(
+        "ingest", help="upload trace file(s) into a tenant namespace"
+    )
+    add_service_url(sp)
+    sp.add_argument("tenant", help="tenant namespace name")
+    sp.add_argument("traces", nargs="+", help="trace files (text or binary)")
+    sp.add_argument("--meta", nargs="*", default=None, metavar="K=V",
+                    help="extra run metadata (queryable via --where)")
+    sp.set_defaults(fn=_cmd_service_ingest)
+
+    sp = service_sub.add_parser(
+        "query",
+        help="query a tenant namespace (byte-identical to 'store query "
+        "--json' over the same runs)",
+    )
+    add_service_url(sp)
+    sp.add_argument("tenant", help="tenant namespace name")
+    add_store_filters(sp)
+    sp.add_argument("--agg", choices=("events", "ops", "bytes", "bandwidth"),
+                    default="ops", help="aggregate to compute (default ops)")
+    sp.add_argument("--window", type=float, default=0.05, metavar="SEC",
+                    help="bandwidth bucket width in sim seconds (default 0.05)")
+    sp.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="truncate the events aggregate after N rows")
+    sp.set_defaults(fn=_cmd_service_query)
+
+    sp = service_sub.add_parser(
+        "loadgen",
+        help="deterministic multi-client load test against a live server",
+    )
+    add_service_url(sp)
+    sp.add_argument("--clients", type=int, default=100, metavar="N",
+                    help="concurrent simulated clients (default 100)")
+    sp.add_argument("--requests", type=int, default=10, metavar="N",
+                    help="requests per client (default 10)")
+    sp.add_argument("--tenants", type=int, default=4, metavar="N",
+                    help="tenant namespaces in the mix (default 4)")
+    sp.add_argument("--payloads", type=int, default=16, metavar="N",
+                    help="distinct trace payloads dealt to ingests — "
+                    "smaller pool = more dedup (default 16)")
+    sp.add_argument("--payload-events", type=int, default=64, metavar="N",
+                    help="events per generated trace payload (default 64)")
+    sp.add_argument("--ingest-fraction", type=float, default=0.5, metavar="F",
+                    help="fraction of requests that are ingests (default 0.5)")
+    sp.add_argument("--seed", type=int, default=7,
+                    help="plan RNG seed (default 7)")
+    sp.add_argument("--out", default=None, metavar="PATH",
+                    help="write the canonical-JSON bench report here "
+                    "(e.g. BENCH_service.json)")
+    sp.set_defaults(fn=_cmd_service_loadgen)
 
     return parser
 

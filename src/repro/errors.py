@@ -256,6 +256,37 @@ class StoreQueryError(StoreError):
 
 
 # ---------------------------------------------------------------------------
+# TraceBank service (repro.service)
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for TraceBank-as-a-service (:mod:`repro.service`) errors."""
+
+
+class TenantNameError(ServiceError):
+    """A tenant name is malformed (bad characters, too long, traversal)."""
+
+
+class IngestQueueFull(ServiceError):
+    """The bounded write-ahead ingest queue is at capacity.
+
+    The HTTP layer maps this to ``429 Too Many Requests`` with a
+    ``Retry-After`` header — explicit backpressure instead of unbounded
+    buffering.  ``retry_after`` is the suggested wait in seconds.
+    """
+
+    def __init__(self, depth: int, capacity: int, retry_after: float = 1.0):
+        self.depth = int(depth)
+        self.capacity = int(capacity)
+        self.retry_after = float(retry_after)
+        super().__init__(
+            "ingest queue full (%d/%d entries); retry in %.3gs"
+            % (self.depth, self.capacity, self.retry_after)
+        )
+
+
+# ---------------------------------------------------------------------------
 # Telemetry / observability
 # ---------------------------------------------------------------------------
 

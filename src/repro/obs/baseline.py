@@ -83,6 +83,10 @@ METRIC_SPECS: Dict[str, Dict[str, float]] = {
     # outlier scoring per second over archived runs.  Host-clock rate —
     # more runs/sec is better, wide noise floor.
     "diagnose_runs_per_sec": {"direction": -1, "rel_floor": 0.30, "abs_floor": 1.0},
+    # Service load-test throughput (BENCH_service.json): requests served
+    # per second across the loadgen's ingest/query mix.  Host-clock rate
+    # over sockets — more req/s is better, wide noise floor.
+    "service_req_per_sec": {"direction": -1, "rel_floor": 0.30, "abs_floor": 1.0},
 }
 
 

@@ -183,6 +183,14 @@ class TelemetryCollector:
         m.inc("store.scan.segments_pruned", pruned)
         m.inc("store.scan.events_matched", matched)
 
+    def service_request(self, route: str, status: int, seconds: float) -> None:
+        """One TraceBank-service HTTP request finished (any route/status)."""
+        m = self.metrics
+        m.inc("service.requests")
+        m.inc("service.route.%s.requests" % route)
+        m.inc("service.status.%dxx" % (status // 100))
+        m.observe("service.request_seconds", seconds)
+
     # -- simfs ---------------------------------------------------------------
 
     def disk_op(self, name: str, t: float, nbytes: int, sequential: bool,

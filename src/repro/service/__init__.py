@@ -1,0 +1,56 @@
+"""TraceBank as a service: concurrent multi-tenant ingest/query HTTP API.
+
+The archive layers below this package are strictly single-writer-ish
+library code; this package turns them into a long-running service:
+
+* :mod:`repro.service.tenants` — per-tenant namespaces over one shared
+  content-addressed segment pool (cross-tenant dedup for free, isolation
+  by construction);
+* :mod:`repro.service.ingestq` — the bounded write-ahead ingest queue:
+  durability before acknowledgement, explicit 429 backpressure;
+* :mod:`repro.service.api` — transport-independent routing/handlers
+  (testable without sockets);
+* :mod:`repro.service.server` — the stdlib-asyncio HTTP/1.1 front end;
+* :mod:`repro.service.loadgen` — the deterministic load-test harness
+  behind ``BENCH_service.json``.
+
+See DESIGN.md §16 for the architecture and the backpressure contract.
+"""
+
+from repro.service.api import Request, Response, ServiceApp, query_from_params
+from repro.service.ingestq import IngestQueue, WalEntry, decode_upload
+from repro.service.loadgen import (
+    LoadPlan,
+    LoadResult,
+    build_plan,
+    make_payload,
+    run_loadgen,
+    write_bench,
+)
+from repro.service.server import ServiceServer, serve
+from repro.service.tenants import (
+    TENANT_NAME_RE,
+    TenantRegistry,
+    validate_tenant_name,
+)
+
+__all__ = [
+    "Request",
+    "Response",
+    "ServiceApp",
+    "ServiceServer",
+    "IngestQueue",
+    "WalEntry",
+    "LoadPlan",
+    "LoadResult",
+    "TENANT_NAME_RE",
+    "TenantRegistry",
+    "build_plan",
+    "decode_upload",
+    "make_payload",
+    "query_from_params",
+    "run_loadgen",
+    "serve",
+    "validate_tenant_name",
+    "write_bench",
+]

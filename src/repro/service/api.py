@@ -1,0 +1,477 @@
+"""Transport-independent request handling for the TraceBank service.
+
+:class:`ServiceApp` owns the tenant registry, the bounded write-ahead
+ingest queue, its commit workers, and the always-on request metrics; the
+HTTP server (:mod:`repro.service.server`) is a thin byte shuffler over
+:meth:`ServiceApp.handle`, which makes every route testable without a
+socket.
+
+Routes (all responses canonical JSON)::
+
+    GET  /healthz                      liveness + queue depth
+    GET  /v1/stats                     service-wide archive stats (dedup)
+    GET  /v1/metrics                   request/ingest/commit metrics
+    GET  /v1/tenants                   tenant namespace listing
+    POST /v1/t/{tenant}/ingest        one trace upload (binary or text
+                                       format); 202 on accept, or with
+                                       ``?sync=1`` 200 after commit with
+                                       the dedup-aware ingest result
+    GET  /v1/t/{tenant}/runs          the tenant's archived runs
+    GET  /v1/t/{tenant}/query         the store query engine (same params
+                                       as ``repro store query``; the body
+                                       is byte-identical to its --json)
+    GET  /v1/t/{tenant}/dfg           directly-follows graph, ditto
+
+Error contract: every failure is a typed JSON body
+``{"error": {"type", "message"}}`` — 400 for malformed queries/bodies/
+tenant names, 404 for unknown routes/tenants/runs, 405 for wrong
+methods, 413 for oversized bodies (enforced by the server before the
+body is read), and 429 + ``Retry-After`` when the ingest queue is full.
+Nothing is ever persisted for a rejected request: the WAL entry is
+written only after the body fully arrived and decoded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import (
+    IngestQueueFull,
+    ReproError,
+    ServiceError,
+    StoreError,
+    StoreNotFound,
+    StoreQueryError,
+    TenantNameError,
+    TraceError,
+)
+from repro.obs.metrics import MetricsRegistry, canonical_json
+from repro.obs.tracepoints import STATE
+from repro.service.ingestq import IngestQueue, WalEntry, decode_upload
+from repro.service.tenants import TenantRegistry
+from repro.store.bank import TraceBank
+from repro.store.dfg import build_dfg
+from repro.store.query import Query, run_query
+
+__all__ = ["Request", "Response", "ServiceApp", "query_from_params"]
+
+_TENANT_ROUTE = re.compile(r"^/v1/t/([^/]+)/(ingest|runs|query|dfg)$")
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request, transport details already stripped."""
+
+    method: str
+    path: str
+    params: Dict[str, List[str]] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def param(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """The first value of one query parameter, or ``default``."""
+        values = self.params.get(name)
+        return values[0] if values else default
+
+
+@dataclass
+class Response:
+    """One response: status + canonical-JSON (or text) body."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def _json_body(obj: Any) -> bytes:
+    return (canonical_json(obj) + "\n").encode("utf-8")
+
+
+def _error_response(status: int, exc_type: str, message: str,
+                    headers: Optional[Dict[str, str]] = None) -> Response:
+    return Response(
+        status=status,
+        body=_json_body({"error": {"type": exc_type, "message": message}}),
+        headers=dict(headers or {}),
+    )
+
+
+def _status_for(exc: BaseException) -> int:
+    if isinstance(exc, IngestQueueFull):
+        return 429
+    if isinstance(exc, StoreNotFound):
+        return 404
+    if isinstance(exc, (TenantNameError, TraceError, StoreQueryError)):
+        return 400
+    if isinstance(exc, StoreError) and "no archived run matches" in str(exc):
+        return 404
+    if isinstance(exc, ReproError):
+        return 400
+    return 500
+
+
+def query_from_params(params: Dict[str, List[str]]) -> Query:
+    """Build a :class:`~repro.store.query.Query` from URL query params.
+
+    Mirrors the ``repro store query`` CLI flags one-to-one (``ranks``,
+    ``ops``, ``layers``, ``path_glob``, ``since``, ``until``, ``window``,
+    ``limit``, ``runs``, ``where.<key>=<value>``, ``agg``) so a service
+    answer is byte-identical to the CLI's over the same namespace.
+    Values may repeat or be comma-separated.  Raises
+    :class:`~repro.errors.StoreQueryError` on malformed values.
+    """
+
+    def multi(name: str) -> Optional[List[str]]:
+        values: List[str] = []
+        for raw in params.get(name, []):
+            values.extend(v for v in raw.split(",") if v)
+        return values or None
+
+    def scalar_float(name: str) -> Optional[float]:
+        raw = params.get(name)
+        if not raw:
+            return None
+        try:
+            return float(raw[0])
+        except ValueError:
+            raise StoreQueryError("bad float for %r: %r" % (name, raw[0])) from None
+
+    where: Dict[str, str] = {}
+    for key, values in params.items():
+        if key.startswith("where.") and values:
+            where[key[len("where."):]] = values[-1]
+    ranks_raw = multi("ranks")
+    try:
+        ranks = [int(r) for r in ranks_raw] if ranks_raw is not None else None
+    except ValueError:
+        raise StoreQueryError("bad integer in ranks=%r" % (ranks_raw,)) from None
+    limit_raw = params.get("limit")
+    limit: Optional[int] = None
+    if limit_raw:
+        try:
+            limit = int(limit_raw[0])
+        except ValueError:
+            raise StoreQueryError("bad integer limit %r" % limit_raw[0]) from None
+    window = scalar_float("window")
+    return Query.create(
+        agg=(params.get("agg") or ["ops"])[0],
+        ranks=ranks,
+        names=multi("ops"),
+        layers=multi("layers"),
+        path_glob=(params.get("path_glob") or [None])[0],
+        since=scalar_float("since"),
+        until=scalar_float("until"),
+        where=where,
+        runs=multi("runs"),
+        window=0.05 if window is None else window,
+        limit=limit,
+    )
+
+
+class ServiceApp:
+    """The service's brain: tenants + WAL queue + workers + metrics."""
+
+    def __init__(
+        self,
+        store_root: Union[str, Path],
+        queue_capacity: int = 256,
+        max_body_bytes: int = 32 << 20,
+        query_jobs: int = 1,
+        commit_workers: int = 2,
+        codec: str = "v1",
+    ):
+        self.registry = TenantRegistry(store_root)
+        self.queue = IngestQueue(self.registry.root, capacity=queue_capacity)
+        self.max_body_bytes = int(max_body_bytes)
+        self.query_jobs = int(query_jobs)
+        self.commit_workers = int(commit_workers)
+        self.codec = codec
+        self.metrics = MetricsRegistry()
+        # Decode/WAL/commit/query all share this pool; keep headroom so
+        # accept-path hops cannot starve the commit workers.
+        self.executor = ThreadPoolExecutor(
+            max_workers=max(4, commit_workers + query_jobs + 2),
+            thread_name_prefix="repro-service",
+        )
+        self._banks: Dict[str, TraceBank] = {}
+        self._workers: List["asyncio.Task[None]"] = []
+        #: Test hook: when set to an :class:`asyncio.Event`, commit
+        #: workers park on it before touching the store — lets fault
+        #: tests fill the queue deterministically.
+        self.commit_gate: Optional[asyncio.Event] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def startup(self) -> None:
+        """Recover the WAL and start the commit workers."""
+        loop = asyncio.get_running_loop()
+        recovered = await loop.run_in_executor(self.executor, self.queue.recover)
+        for entry in recovered:
+            # Recovered entries bypass reserve(): they already consumed
+            # their slot in a previous life and must drain regardless.
+            self.queue._in_flight += 1
+            self.queue.queue.put_nowait(entry)
+            self.metrics.inc("service.wal.recovered")
+        for _ in range(self.commit_workers):
+            self._workers.append(asyncio.create_task(self._commit_loop()))
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop the workers, optionally committing queued entries first."""
+        if drain and self.queue.depth:
+            await self.queue.queue.join()
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+        self.executor.shutdown(wait=True)
+
+    # -- internals -----------------------------------------------------------
+
+    def _bank(self, tenant: str, create: bool = True) -> TraceBank:
+        bank = self._banks.get(tenant)
+        if bank is None:
+            bank = self.registry.bank(tenant, create=create)
+            self._banks[tenant] = bank
+        return bank
+
+    async def _commit_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            entry: WalEntry = await self.queue.queue.get()
+            try:
+                if self.commit_gate is not None:
+                    await self.commit_gate.wait()
+                bank = self._bank(entry.tenant)
+                result = await loop.run_in_executor(
+                    self.executor, self.queue.commit, entry, bank
+                )
+            except asyncio.CancelledError:
+                # Shutdown mid-commit: the entry stays in the WAL and the
+                # next startup recovers it (re-commit is idempotent).  No
+                # release/task_done — nothing joins the queue after this.
+                raise
+            except Exception as exc:
+                self.queue.discarded += 1
+                self.metrics.inc("service.commit.errors")
+                try:
+                    entry.path.unlink()
+                except OSError:
+                    pass
+                if entry.future is not None and not entry.future.done():
+                    entry.future.set_exception(exc)
+            else:
+                m = self.metrics
+                m.inc("service.commit.runs")
+                m.inc("service.commit.segments", result.segments)
+                m.inc("service.commit.new_segments", result.new_segments)
+                m.inc("service.commit.deduped_segments", result.deduped_segments)
+                m.inc("service.commit.events", result.events)
+                if entry.future is not None and not entry.future.done():
+                    entry.future.set_result(result)
+            self.queue.release()
+            self.queue.queue.task_done()
+
+    def _record(self, route: str, status: int, seconds: float) -> None:
+        m = self.metrics
+        m.inc("service.requests")
+        m.inc("service.route.%s" % route)
+        m.inc("service.status.%d" % status)
+        m.observe("service.request_seconds", seconds)
+        col = STATE.collector
+        if col is not None:
+            col.service_request(route, status, seconds)
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def handle(self, request: Request) -> Response:
+        """Route one request; never raises (errors become typed JSON)."""
+        t0 = time.perf_counter()
+        route = "other"
+        try:
+            route, response = await self._dispatch(request)
+        except Exception as exc:  # the transport must never see a raise
+            status = _status_for(exc)
+            headers = {}
+            if isinstance(exc, IngestQueueFull):
+                headers["Retry-After"] = "%.3f" % exc.retry_after
+            response = _error_response(status, type(exc).__name__, str(exc), headers)
+        self._record(route, response.status, time.perf_counter() - t0)
+        return response
+
+    async def _dispatch(self, request: Request) -> tuple:
+        path = request.path
+        if path == "/healthz":
+            return "healthz", Response(
+                200,
+                _json_body(
+                    {
+                        "ok": True,
+                        "queue_depth": self.queue.depth,
+                        "queue_capacity": self.queue.capacity,
+                    }
+                ),
+            )
+        if path == "/v1/stats":
+            return "stats", await self._stats(request)
+        if path == "/v1/metrics":
+            return "metrics", Response(
+                200, _json_body(self.metrics.snapshot(end_time=0.0))
+            )
+        if path == "/v1/tenants":
+            return "tenants", Response(
+                200, _json_body({"tenants": self.registry.list_tenants()})
+            )
+        m = _TENANT_ROUTE.match(path)
+        if m is None:
+            return "other", _error_response(404, "NotFound", "no route %s" % path)
+        tenant, verb = m.group(1), m.group(2)
+        if verb == "ingest":
+            if request.method != "POST":
+                return "ingest", _error_response(
+                    405, "MethodNotAllowed", "ingest is POST-only"
+                )
+            return "ingest", await self._ingest(tenant, request)
+        if request.method != "GET":
+            return verb, _error_response(
+                405, "MethodNotAllowed", "%s is GET-only" % verb
+            )
+        if verb == "runs":
+            return "runs", await self._runs(tenant)
+        if verb == "query":
+            return "query", await self._query(tenant, request)
+        return "dfg", await self._dfg(tenant, request)
+
+    # -- handlers ------------------------------------------------------------
+
+    async def _stats(self, request: Request) -> Response:
+        loop = asyncio.get_running_loop()
+        stats = await loop.run_in_executor(self.executor, self.registry.stats)
+        stats["queue"] = {
+            "depth": self.queue.depth,
+            "capacity": self.queue.capacity,
+            "committed": self.queue.committed,
+            "discarded": self.queue.discarded,
+        }
+        return Response(200, _json_body(stats))
+
+    async def _ingest(self, tenant: str, request: Request) -> Response:
+        from repro.service.tenants import validate_tenant_name
+
+        validate_tenant_name(tenant)
+        # An accepted upload implies the namespace: create it at accept
+        # time so the tenant's reads work as soon as its first ingest is
+        # acknowledged, not only once the commit worker lands it.
+        self._bank(tenant)
+        if len(request.body) > self.max_body_bytes:
+            return _error_response(
+                413, "BodyTooLarge",
+                "body of %d bytes exceeds the %d-byte limit"
+                % (len(request.body), self.max_body_bytes),
+            )
+        loop = asyncio.get_running_loop()
+        self.queue.reserve()
+        entry: Optional[WalEntry] = None
+        try:
+            trace = await loop.run_in_executor(
+                self.executor, decode_upload, request.body
+            )
+            rank_raw = request.param("rank")
+            try:
+                rank = int(rank_raw) if rank_raw is not None else None
+            except ValueError:
+                raise TraceError("bad rank %r" % rank_raw) from None
+            meta = {
+                key[len("meta."):]: values[-1]
+                for key, values in request.params.items()
+                if key.startswith("meta.") and values
+            }
+            codec = request.param("codec", self.codec) or self.codec
+            entry = await loop.run_in_executor(
+                self.executor,
+                partial(
+                    self.queue.write_wal,
+                    tenant, request.body, trace, rank, meta, codec,
+                ),
+            )
+        except BaseException:
+            self.queue.release()
+            raise
+        self.metrics.inc("service.wal.appended")
+        sync = request.param("sync") in ("1", "true", "yes")
+        if sync:
+            entry.future = loop.create_future()
+        self.queue.queue.put_nowait(entry)
+        if not sync:
+            return Response(
+                202,
+                _json_body(
+                    {
+                        "accepted": entry.entry_id,
+                        "tenant": tenant,
+                        "queue_depth": self.queue.depth,
+                    }
+                ),
+            )
+        result = await entry.future  # typed errors propagate to handle()
+        return Response(
+            200,
+            _json_body(
+                {
+                    "run_id": result.run_id,
+                    "tenant": tenant,
+                    "segments": result.segments,
+                    "new_segments": result.new_segments,
+                    "deduped_segments": result.deduped_segments,
+                    "events": result.events,
+                    "manifest_new": result.manifest_new,
+                }
+            ),
+        )
+
+    async def _runs(self, tenant: str) -> Response:
+        loop = asyncio.get_running_loop()
+        bank = self._bank(tenant, create=False)
+        manifests = await loop.run_in_executor(self.executor, bank.manifests)
+        rows = [
+            {
+                "run_id": m.run_id,
+                "kind": m.meta.get("kind"),
+                "framework": m.meta.get("framework"),
+                "segments": len(m.segments),
+                "n_events": m.n_events,
+            }
+            for m in manifests
+        ]
+        return Response(200, _json_body({"tenant": tenant, "runs": rows}))
+
+    async def _query(self, tenant: str, request: Request) -> Response:
+        bank = self._bank(tenant, create=False)
+        query = query_from_params(request.params)
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            self.executor, partial(run_query, bank, query, jobs=self.query_jobs)
+        )
+        return Response(200, _json_body(report))
+
+    async def _dfg(self, tenant: str, request: Request) -> Response:
+        bank = self._bank(tenant, create=False)
+        params = dict(request.params)
+        params["agg"] = ["ops"]  # the DFG reuses the shared filters only
+        query = query_from_params(params)
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            self.executor, partial(build_dfg, bank, query, jobs=self.query_jobs)
+        )
+        return Response(200, _json_body(report))

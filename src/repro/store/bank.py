@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
@@ -109,6 +110,11 @@ class TraceBank:
         self.segments_dir = self.root / "segments"
         self.manifests_dir = self.root / "manifests"
         self.index = ManifestIndex(self.root)
+        #: True for tenant namespaces whose ``segments/`` lives in a parent
+        #: service store (``segments_root`` in STORE.json); such banks own
+        #: their manifests but share segment files with every sibling.
+        self.shared_segments = False
+        self.tenant: Optional[str] = None
         marker = self.root / "STORE.json"
         if marker.is_file():
             try:
@@ -121,6 +127,12 @@ class TraceBank:
                 raise StoreError(
                     "%s is not a %s archive" % (self.root, STORE_SCHEMA)
                 )
+            seg_root = obj.get("segments_root")
+            if seg_root:
+                self.segments_dir = (self.root / str(seg_root)).resolve()
+                self.shared_segments = True
+            if obj.get("tenant") is not None:
+                self.tenant = str(obj["tenant"])
         elif create:
             self.root.mkdir(parents=True, exist_ok=True)
             self.segments_dir.mkdir(exist_ok=True)
@@ -299,10 +311,46 @@ class TraceBank:
         return TraceBundle(files=files, metadata=dict(m.meta))
 
     def disk_segments(self) -> List[str]:
-        """Every segment digest present on disk (referenced or not)."""
+        """Every segment digest present on disk (referenced or not).
+
+        Only ``*.seg`` files count: the ``*.tmp`` droppings of an
+        in-flight (or crashed) atomic write are invisible here, so
+        ``verify``/``gc``/``stats`` stay safe to run while a concurrent
+        ingest is mid-write.  Stale tmp files are reclaimed by
+        :meth:`gc` once they outlive ``tmp_ttl_seconds``.
+        """
         if not self.segments_dir.is_dir():
             return []
         return sorted(p.stem for p in self.segments_dir.glob("*/*.seg"))
+
+    def tmp_files(self) -> List[Path]:
+        """In-flight/stale ``*.tmp`` atomic-write droppings, sorted.
+
+        Covers the two directories this bank writes atomically into:
+        ``segments/`` shards and ``manifests/``.  A live entry here is a
+        concurrent ingest mid-``os.replace``; one that persists is the
+        residue of a crashed writer.
+        """
+        out: List[Path] = []
+        if self.segments_dir.is_dir():
+            out.extend(self.segments_dir.glob("*/*.tmp"))
+        if self.manifests_dir.is_dir():
+            out.extend(self.manifests_dir.glob("*.tmp"))
+        return sorted(out)
+
+    def _tenant_manifest_paths(self) -> List[Path]:
+        """Manifest files of tenant namespaces nested under this root.
+
+        A service store keeps per-tenant manifests in
+        ``tenants/<name>/manifests/`` while every tenant shares this
+        root's ``segments/``; those manifests pin segments exactly like
+        the root's own, so ``verify``'s orphan report and ``gc``'s root
+        set must include them.
+        """
+        tenants_dir = self.root / "tenants"
+        if self.shared_segments or not tenants_dir.is_dir():
+            return []
+        return sorted(tenants_dir.glob("*/manifests/*.json"))
 
     def stats(self) -> Dict[str, Any]:
         """Archive-wide summary: runs, segments, dedup ratio, bytes."""
@@ -316,7 +364,16 @@ class TraceBank:
             frameworks[fw] = frameworks.get(fw, 0) + 1
             for seg in m.segments:
                 referenced[seg.sha256] = referenced.get(seg.sha256, 0) + 1
-        on_disk = self.disk_segments()
+        # A tenant namespace shares its segments directory with every
+        # sibling tenant: a raw disk listing would count (and report as
+        # "orphans") segments belonging to other tenants.  Scope the view
+        # to this bank's own referenced set in that case.
+        if self.shared_segments:
+            on_disk = sorted(
+                sha for sha in referenced if self.segment_path(sha).is_file()
+            )
+        else:
+            on_disk = self.disk_segments()
         disk_bytes = 0
         for sha in on_disk:
             try:
@@ -350,6 +407,14 @@ class TraceBank:
         each segment's summary against the manifest's copy.  ``jobs > 1``
         fans segment checks over worker processes; the report is
         byte-identical for any job count.  ``ok`` is True iff no errors.
+
+        Safe to run while a concurrent ingest is mid-atomic-write: the
+        writer's ``*.tmp`` files are never opened or reported as errors
+        (their count lands in ``in_flight_tmp``), and segments referenced
+        by tenant namespaces under ``tenants/`` never show up as orphans.
+        A tenant bank itself (shared ``segments/``) skips the orphan scan
+        entirely — it cannot distinguish a sibling's segment from a true
+        orphan; the service root's verify owns that question.
         """
         from repro.harness.parallel import parallel_map
 
@@ -383,7 +448,18 @@ class TraceBank:
             if err is not None:
                 errors.append(err)
         errors.sort(key=lambda e: (str(e["run_id"]), str(e["sha256"]), e["error"]))
-        orphans = sorted(set(self.disk_segments()) - referenced)
+        if self.shared_segments:
+            orphans: List[str] = []
+        else:
+            pinned = set(referenced)
+            for path in self._tenant_manifest_paths():
+                try:
+                    pinned.update(
+                        RunManifest.loads(path.read_text("utf-8")).segment_shas()
+                    )
+                except (OSError, StoreCorruptionError):
+                    continue  # the tenant's own verify reports it
+            orphans = sorted(set(self.disk_segments()) - pinned)
         return {
             "schema": "repro/store/verify/v1",
             "runs": n_manifests,
@@ -391,25 +467,44 @@ class TraceBank:
             "ok": not errors,
             "errors": errors,
             "orphan_segments": orphans,
+            "in_flight_tmp": len(self.tmp_files()),
         }
 
-    def gc(self, dry_run: bool = False) -> Dict[str, Any]:
+    def gc(self, dry_run: bool = False, tmp_ttl_seconds: float = 3600.0) -> Dict[str, Any]:
         """Remove segment files no manifest references.
 
         Manifests are the root set (read directly from disk, not the
-        cache); anything under ``segments/`` not reachable from one is
-        deleted — or merely listed with ``dry_run``.  Never touches
-        manifests themselves: to drop a run, delete its manifest file and
-        then ``gc``.
+        cache): this bank's own plus every tenant namespace's under
+        ``tenants/*/manifests/`` — tenant runs pin shared segments.
+        Anything under ``segments/`` not reachable from one is deleted —
+        or merely listed with ``dry_run``.  Never touches manifests
+        themselves: to drop a run, delete its manifest file and then
+        ``gc``.
+
+        In-flight ``*.tmp`` atomic-write files are left alone unless
+        older than ``tmp_ttl_seconds`` (crashed-writer residue; reclaimed
+        into ``removed_tmp_files``) — so gc is safe to run concurrently
+        with a live ingest.  A tenant bank (shared ``segments/``) refuses
+        to gc at all: it cannot tell a sibling tenant's live segment from
+        garbage; gc the service root instead.
         """
+        if self.shared_segments:
+            raise StoreError(
+                "refusing to gc tenant namespace %r: its segments/ is shared "
+                "with sibling tenants; gc the service store root instead"
+                % str(self.root)
+            )
         referenced: set = set()
+        roots: List[Path] = []
         if self.manifests_dir.is_dir():
-            for path in sorted(self.manifests_dir.glob("*.json")):
-                try:
-                    m = RunManifest.loads(path.read_text("utf-8"))
-                except (OSError, StoreCorruptionError):
-                    continue  # verify reports it; gc must not widen damage
-                referenced.update(m.segment_shas())
+            roots.extend(sorted(self.manifests_dir.glob("*.json")))
+        roots.extend(self._tenant_manifest_paths())
+        for path in roots:
+            try:
+                m = RunManifest.loads(path.read_text("utf-8"))
+            except (OSError, StoreCorruptionError):
+                continue  # verify reports it; gc must not widen damage
+            referenced.update(m.segment_shas())
         removed: List[str] = []
         freed = 0
         for sha in self.disk_segments():
@@ -427,10 +522,26 @@ class TraceBank:
                     continue
             removed.append(sha)
             freed += size
+        removed_tmp: List[str] = []
+        now = time.time()
+        for tmp in self.tmp_files():
+            try:
+                age = now - tmp.stat().st_mtime
+            except OSError:
+                continue  # completed (os.replace) or cleaned up mid-scan
+            if age < tmp_ttl_seconds:
+                continue  # plausibly a live writer; never race it
+            if not dry_run:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    continue
+            removed_tmp.append(str(tmp.relative_to(self.root)))
         return {
             "schema": "repro/store/gc/v1",
             "dry_run": bool(dry_run),
             "removed_segments": removed,
+            "removed_tmp_files": removed_tmp,
             "bytes_freed": freed,
             "kept_segments": len(referenced),
         }

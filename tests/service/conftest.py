@@ -1,0 +1,9 @@
+"""Make the service test helpers and the store builders importable."""
+
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+for p in (str(_HERE), str(_HERE.parent / "store")):
+    if p not in sys.path:
+        sys.path.insert(0, p)
