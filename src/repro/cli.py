@@ -829,13 +829,19 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     from repro.store import TraceBank
 
     bank = TraceBank(args.store, create=False)
-    report = bank.gc(dry_run=args.dry_run)
+    report = bank.gc(dry_run=args.dry_run, tmp_ttl_seconds=args.ttl_seconds)
     verb = "would remove" if report["dry_run"] else "removed"
     print(
         "%s %d unreferenced segment(s), %d byte(s); %d referenced segment(s) kept"
         % (verb, len(report["removed_segments"]), report["bytes_freed"],
            report["kept_segments"])
     )
+    if report["kept_fresh_segments"]:
+        print(
+            "  %d fresh unreferenced segment(s) kept (younger than the "
+            "--ttl-seconds grace; may be a live ingest)"
+            % report["kept_fresh_segments"]
+        )
     return 0
 
 
@@ -1393,6 +1399,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_store_root(sp)
     sp.add_argument("--dry-run", action="store_true",
                     help="report what would be removed without deleting")
+    sp.add_argument("--ttl-seconds", type=float, default=3600.0,
+                    help="grace period for in-flight tmp files and fresh "
+                         "unreferenced segments (a concurrent ingest may "
+                         "not have landed its manifest yet); 0 reclaims "
+                         "immediately (default: 3600)")
     sp.set_defaults(fn=_cmd_store_gc)
 
     p = sub.add_parser(

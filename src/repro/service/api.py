@@ -263,12 +263,21 @@ class ServiceApp:
                 # release/task_done — nothing joins the queue after this.
                 raise
             except Exception as exc:
-                self.queue.discarded += 1
                 self.metrics.inc("service.commit.errors")
-                try:
-                    entry.path.unlink()
-                except OSError:
-                    pass
+                if isinstance(exc, (TraceError, ValueError)):
+                    # Data error: the bytes themselves are bad and a
+                    # retry cannot cure them — discard the entry.
+                    self.queue.discarded += 1
+                    try:
+                        entry.path.unlink()
+                    except OSError:
+                        pass
+                else:
+                    # Transient failure (ENOSPC, EMFILE, permission
+                    # blip): the upload was durably acked, so its WAL
+                    # file stays on disk for the next startup's
+                    # recovery to re-commit.
+                    self.metrics.inc("service.commit.deferred")
                 if entry.future is not None and not entry.future.done():
                     entry.future.set_exception(exc)
             else:

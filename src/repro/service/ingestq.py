@@ -18,9 +18,13 @@ thundering herd of producers.  The queue answers both:
 
 Entries that fail commit with a *data* error (undecodable bytes that
 somehow reached the queue, e.g. a WAL file corrupted on disk between
-restarts) are discarded — unlinked and counted — not retried forever;
-the store itself stays verifiable throughout because nothing touches
-``segments/``/``manifests/`` except the atomic-write ingest path.
+restarts) are discarded — unlinked and counted — not retried forever.
+A *transient* commit failure (``OSError`` such as ENOSPC/EMFILE, or any
+other non-data exception) must NOT discard: the entry was durably
+acked, so its WAL file stays on disk and the next startup's recovery
+re-commits it.  The store itself stays verifiable throughout because
+nothing touches ``segments/``/``manifests/`` except the atomic-write
+ingest path.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -107,6 +112,12 @@ class IngestQueue:
         self.retry_after = float(retry_after)
         self.queue: "asyncio.Queue[WalEntry]" = asyncio.Queue()
         self._in_flight = 0
+        #: ``write_wal`` runs in executor threads (one per concurrent
+        #: upload), so sequence allocation must be synchronized: two
+        #: uploads drawing the same seq would share a WAL path and the
+        #: second atomic write would silently overwrite the first
+        #: durably-acked entry.
+        self._seq_lock = threading.Lock()
         self._seq = self._next_seq_start()
         self.committed = 0
         self.discarded = 0
@@ -153,10 +164,16 @@ class IngestQueue:
         The caller must hold a reservation.  The entry file is written
         atomically, so a crash leaves either a complete entry or nothing.
         """
-        seq = self._seq
-        self._seq += 1
+        with self._seq_lock:
+            seq = self._seq
+            self._seq += 1
         entry_id = "%08d-%s" % (seq, tenant)
         path = self.wal_dir / (entry_id + ".wal")
+        if path.exists():
+            raise ServiceError(
+                "WAL entry %s already exists; refusing to overwrite a "
+                "durably-acked upload" % path.name
+            )
         header = {
             "schema": WAL_SCHEMA,
             "tenant": tenant,

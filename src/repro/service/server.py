@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import asyncio
 from typing import Dict, List, Optional, Tuple
-from urllib.parse import unquote_plus
+from urllib.parse import unquote, unquote_plus
 
 from repro.service.api import Request, Response, ServiceApp
 
@@ -182,9 +182,11 @@ class ServiceServer:
             version != "HTTP/1.0"
             and headers.get("connection", "").lower() != "close"
         )
+        # Percent-decode the path with unquote (NOT unquote_plus): "+"
+        # only means space in query strings, never in path segments.
         request = Request(
             method=method.upper(),
-            path=unquote_plus(path),
+            path=unquote(path),
             params=parse_qs(raw_query),
             headers=headers,
             body=body,

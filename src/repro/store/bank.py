@@ -81,11 +81,20 @@ class IngestResult:
 
 
 def _atomic_write_bytes(path: Path, blob: bytes) -> None:
+    """Atomically (and durably) land ``blob`` at ``path``.
+
+    The temp file is fsynced before ``os.replace`` and the directory
+    after, so callers that acknowledge the write (WAL entries, manifest
+    commits) survive an OS crash or power loss, not just a process
+    crash.  Platforms that refuse directory fsync degrade gracefully.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as fh:
             fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -93,6 +102,16 @@ def _atomic_write_bytes(path: Path, blob: bytes) -> None:
         except OSError:
             pass
         raise
+    try:
+        dfd = os.open(str(path.parent), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dfd)
+    except OSError:
+        pass
+    finally:
+        os.close(dfd)
 
 
 class TraceBank:
@@ -483,8 +502,15 @@ class TraceBank:
 
         In-flight ``*.tmp`` atomic-write files are left alone unless
         older than ``tmp_ttl_seconds`` (crashed-writer residue; reclaimed
-        into ``removed_tmp_files``) — so gc is safe to run concurrently
-        with a live ingest.  A tenant bank (shared ``segments/``) refuses
+        into ``removed_tmp_files``).  The same grace protects *fresh*
+        unreferenced ``.seg`` files: a concurrent ingest lands segments
+        before its manifest, so a segment younger than
+        ``tmp_ttl_seconds`` may be live even though no manifest names it
+        yet — it is kept (counted as ``kept_fresh_segments``) and
+        reclaimed by a later gc if its manifest never arrives.  Together
+        these make gc safe to run concurrently with a live ingest; pass
+        ``tmp_ttl_seconds=0.0`` to reclaim everything immediately when
+        no writer can be alive.  A tenant bank (shared ``segments/``) refuses
         to gc at all: it cannot tell a sibling tenant's live segment from
         garbage; gc the service root instead.
         """
@@ -507,23 +533,29 @@ class TraceBank:
             referenced.update(m.segment_shas())
         removed: List[str] = []
         freed = 0
+        kept_fresh = 0
+        now = time.time()
         for sha in self.disk_segments():
             if sha in referenced:
                 continue
             path = self.segment_path(sha)
             try:
-                size = path.stat().st_size
+                st = path.stat()
             except OSError:
-                size = 0
+                continue  # vanished mid-scan (another gc, or a drop)
+            if now - st.st_mtime < tmp_ttl_seconds:
+                # Freshly landed: a live ingest writes segments before
+                # its manifest, so this may be referenced momentarily.
+                kept_fresh += 1
+                continue
             if not dry_run:
                 try:
                     path.unlink()
                 except OSError:
                     continue
             removed.append(sha)
-            freed += size
+            freed += st.st_size
         removed_tmp: List[str] = []
-        now = time.time()
         for tmp in self.tmp_files():
             try:
                 age = now - tmp.stat().st_mtime
@@ -544,6 +576,7 @@ class TraceBank:
             "removed_tmp_files": removed_tmp,
             "bytes_freed": freed,
             "kept_segments": len(referenced),
+            "kept_fresh_segments": kept_fresh,
         }
 
 

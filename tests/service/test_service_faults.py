@@ -164,6 +164,25 @@ class TestQueueFull:
         assert report["ok"] and wal == []
 
 
+class TestPathDecoding:
+    def test_plus_in_path_is_not_a_space(self, tmp_path):
+        # "+" means space only in query strings; the path must keep it.
+        with ServerThread(tmp_path / "svc") as srv:
+            status, _h, err = http_json(
+                srv.host, srv.port, "GET", "/no+such+route"
+            )
+            assert status == 404
+            assert err["error"]["message"] == "no route /no+such+route"
+
+    def test_percent_decoding_still_applies_to_path(self, tmp_path):
+        with ServerThread(tmp_path / "svc") as srv:
+            status, _h, err = http_json(
+                srv.host, srv.port, "GET", "/no%20such"
+            )
+            assert status == 404
+            assert err["error"]["message"] == "no route /no such"
+
+
 class TestWalRecovery:
     def test_startup_replays_valid_and_discards_torn(self, tmp_path):
         root = tmp_path / "svc"

@@ -152,7 +152,7 @@ class TestTenantGc:
         orphan = reg.root_bank.segments_dir / "ff" / ("f" * 64 + ".seg")
         orphan.parent.mkdir(parents=True, exist_ok=True)
         orphan.write_bytes(b"junk")
-        report = reg.gc()
+        report = reg.gc(tmp_ttl_seconds=0.0)
         assert len(report["removed_segments"]) == 1
         assert not orphan.exists()
         assert a.verify()["ok"]

@@ -156,10 +156,11 @@ class TestGC:
         drop = bank.ingest_bundle(make_bundle(n=6))
         bank.manifest_path(drop.run_id).unlink()
         bank.index.invalidate()
-        dry = bank.gc(dry_run=True)
+        # ttl=0: no live writer in this test, reclaim fresh orphans now.
+        dry = bank.gc(dry_run=True, tmp_ttl_seconds=0.0)
         assert len(dry["removed_segments"]) == 2
         assert len(bank.disk_segments()) == 4  # dry run deleted nothing
-        report = bank.gc()
+        report = bank.gc(tmp_ttl_seconds=0.0)
         assert sorted(report["removed_segments"]) == sorted(dry["removed_segments"])
         assert len(bank.disk_segments()) == 2
         assert bank.verify()["ok"]

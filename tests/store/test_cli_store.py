@@ -106,11 +106,21 @@ class TestVerifyAndGc:
         run_id = bank.run_ids()[0]
         bank.manifest_path(run_id).unlink()
         assert main(["store", "gc", "--store", str(store_with_run),
-                     "--dry-run"]) == 0
+                     "--dry-run", "--ttl-seconds", "0"]) == 0
         assert "would remove 2 unreferenced" in capsys.readouterr().out
-        assert main(["store", "gc", "--store", str(store_with_run)]) == 0
+        assert main(["store", "gc", "--store", str(store_with_run),
+                     "--ttl-seconds", "0"]) == 0
         assert "removed 2 unreferenced" in capsys.readouterr().out
         assert bank.disk_segments() == []
+
+    def test_gc_default_ttl_keeps_fresh_orphans(self, store_with_run, capsys):
+        bank = TraceBank(store_with_run, create=False)
+        bank.manifest_path(bank.run_ids()[0]).unlink()
+        assert main(["store", "gc", "--store", str(store_with_run)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 unreferenced" in out
+        assert "2 fresh unreferenced segment(s) kept" in out
+        assert len(bank.disk_segments()) == 2
 
 
 class TestSweepIntegration:

@@ -92,7 +92,7 @@ class TestMaintenance:
     def test_gc_collects_orphaned_v2_run(self, tmp_path):
         bank, r1, r2 = mixed_bank(tmp_path)
         bank.manifest_path(r2.run_id).unlink()
-        report = bank.gc()
+        report = bank.gc(tmp_ttl_seconds=0.0)
         assert len(report["removed_segments"]) == r2.segments
         assert bank.verify()["ok"]
         assert {s.sha256 for s in bank.manifest(r1.run_id).segments} == set(

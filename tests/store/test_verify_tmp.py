@@ -86,3 +86,33 @@ class TestGcWithInFlightTmp:
         assert report["removed_segments"] == []
         assert report["kept_segments"] == result.segments
         assert bank.verify()["ok"]
+
+
+class TestGcFreshSegmentGrace:
+    """An unreferenced ``.seg`` may belong to an in-flight ingest whose
+    manifest has not landed yet; default gc must grant it the same
+    ``tmp_ttl_seconds`` grace as tmp files."""
+
+    def test_fresh_unreferenced_segment_survives_default_gc(self, tmp_path):
+        bank = TraceBank(tmp_path / "bank")
+        drop = bank.ingest_bundle(make_bundle())
+        bank.manifest_path(drop.run_id).unlink()
+        bank.index.invalidate()
+        report = bank.gc()
+        assert report["removed_segments"] == []
+        assert report["kept_fresh_segments"] == 2
+        assert len(bank.disk_segments()) == 2
+
+    def test_aged_unreferenced_segment_is_reclaimed(self, tmp_path):
+        bank = TraceBank(tmp_path / "bank")
+        drop = bank.ingest_bundle(make_bundle())
+        bank.manifest_path(drop.run_id).unlink()
+        bank.index.invalidate()
+        ancient = 1_000_000.0
+        for sha in bank.disk_segments():
+            os.utime(bank.segment_path(sha), (ancient, ancient))
+        report = bank.gc()
+        assert len(report["removed_segments"]) == 2
+        assert report["kept_fresh_segments"] == 0
+        assert bank.disk_segments() == []
+        assert bank.verify()["ok"]
