@@ -71,6 +71,21 @@ Commands:
     directly-follows graphs over the archive (``--jobs`` fans shard scans
     over processes with byte-identical output), verify end-to-end
     integrity, and garbage-collect unreferenced segments.
+``zoo ls|describe|run|matrix|replay``
+    The workload zoo.  ``ls``/``describe`` browse the scenario registry
+    (checkpoint/restart with burst-buffer tiering, ML-epoch shuffled
+    reads, log-structured append+compaction, metadata storm); ``run``/
+    ``matrix`` execute scenarios through the §3.1 harness (same sweep
+    flags as ``figures``: ``--jobs``, run cache, ``--store`` archiving,
+    ``--baseline`` gate records) and check each archived trace against
+    the scenario's declared I/O signature; ``--replay-check`` closes the
+    loop by replaying every archived run from its run id and requiring
+    an exact fidelity report.  ``replay`` takes any trace source — a
+    TraceBank run-id prefix, a raw ``strace -f -T -ttt`` capture, or
+    library trace files — compiles it to a pseudo-application, replays
+    it on a fresh simulated cluster under a documented timing policy
+    (``afap`` or ``preserve``), and prints the per-op-class fidelity
+    report.
 ``service serve|ingest|query|loadgen``
     TraceBank as a service: ``serve`` boots the stdlib-asyncio HTTP API
     (per-tenant namespaces over one shared segment pool, write-ahead
@@ -418,6 +433,137 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _is_store_dir(path: Path) -> bool:
     """True when ``path`` is a TraceBank archive root (has STORE.json)."""
     return path.is_dir() and (path / "STORE.json").is_file()
+
+
+def _cmd_zoo_ls(args: argparse.Namespace) -> int:
+    from repro.zoo import SCENARIOS
+
+    print("%-14s %-7s %-22s %-9s %s"
+          % ("name", "nprocs", "workload", "dominant", "title"))
+    print("-" * 96)
+    for sc in SCENARIOS.values():
+        print(
+            "%-14s %-7d %-22s %-9s %s"
+            % (sc.name, sc.nprocs, sc.workload,
+               sc.signature_dict().get("dominant", "?"), sc.title)
+        )
+    return 0
+
+
+def _cmd_zoo_describe(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import canonical_json
+    from repro.zoo import get
+
+    sc = get(args.scenario)
+    if args.json:
+        print(canonical_json(sc.describe()))
+        return 0
+    d = sc.describe()
+    print("%s — %s" % (sc.name, sc.title))
+    print("  %s" % sc.description)
+    print("  workload:  %s  (framework %s, %d ranks)"
+          % (d["workload"], d["framework"], d["nprocs"]))
+    print("  signature: %s" % ", ".join(
+        "%s=%s" % kv for kv in sorted(d["signature"].items())))
+    print("  parameters (full scale -> smoke overrides):")
+    for k, desc in d["param_space"].items():
+        smoke = d["smoke_args"].get(k)
+        print("    %-20s %-12s %s"
+              % (k,
+                 "%s%s" % (d["base_args"].get(k),
+                           "" if smoke is None else " -> %s" % smoke),
+                 desc))
+    return 0
+
+
+def _run_zoo(args: argparse.Namespace, scenarios) -> int:
+    """Shared body of ``zoo run`` and ``zoo matrix``."""
+    from repro.obs.metrics import canonical_json
+    from repro.zoo import ZOO_NPROCS, bench_points, render_zoo_report, run_zoo_matrix
+
+    report = run_zoo_matrix(
+        scenarios=scenarios,
+        smoke=args.smoke,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+        progress=_make_progress(args),
+        framework=args.framework,
+        store=args.store,
+        store_codec=args.codec,
+        replay_check=args.replay_check,
+    )
+    print(render_zoo_report(report), end="")
+    ex = report["execution"]
+    print(
+        "\nzoo: %d point(s), jobs=%d, %.2fs wall, cache %d hit / %d miss"
+        % (report["summary"]["points"], ex["jobs"], ex["wall_seconds"],
+           ex["cache_hits"], ex["cache_misses"])
+    )
+    if args.replay_check:
+        exact = report["summary"]["replay_exact"]
+        print("replay check: %d/%d exact" % (exact, report["summary"]["archived"]))
+    if getattr(args, "bench_out", None):
+        bench = {
+            "schema": "repro/bench_sweep/v1",
+            "command": "zoo",
+            "quick": bool(args.smoke),
+            "jobs": ex["jobs"],
+            "nprocs": ZOO_NPROCS,
+            "wall_seconds": ex["wall_seconds"],
+            "points": bench_points(report),
+        }
+        import json
+
+        Path(args.bench_out).write_text(json.dumps(bench, indent=2) + "\n")
+        print("wrote %s" % args.bench_out)
+    if getattr(args, "baseline", None):
+        from repro.obs.baseline import append_history, make_record
+
+        record = make_record(
+            bench_points(report),
+            quick=bool(args.smoke),
+            nprocs=ZOO_NPROCS,
+            jobs=ex["jobs"],
+            label=args.baseline_label,
+        )
+        idx = append_history(args.baseline, record)
+        print("appended baseline record #%d to %s" % (idx, args.baseline))
+    if args.report_out:
+        Path(args.report_out).write_text(canonical_json(report) + "\n")
+        print("wrote %s" % args.report_out)
+    if args.replay_check and report["summary"]["replay_exact"] < report["summary"]["archived"]:
+        return 1
+    return 0
+
+
+def _cmd_zoo_run(args: argparse.Namespace) -> int:
+    return _run_zoo(args, [args.scenario])
+
+
+def _cmd_zoo_matrix(args: argparse.Namespace) -> int:
+    return _run_zoo(args, args.scenarios or None)
+
+
+def _cmd_zoo_replay(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import canonical_json
+    from repro.zoo import render_fidelity_report, replay_pipeline
+
+    report = replay_pipeline(
+        args.sources,
+        store=args.store,
+        layer=args.layer,
+        timing=args.timing,
+        seed=args.seed,
+        honor_sync=not args.no_sync,
+        per_event_overhead=args.per_event_overhead,
+        remap_root=args.remap_root,
+    )
+    print(render_fidelity_report(report), end="")
+    if args.report_out:
+        Path(args.report_out).write_text(canonical_json(report) + "\n")
+        print("wrote %s" % args.report_out)
+    return 0 if report["exact"] or not args.require_exact else 1
 
 
 def _cmd_observe(args: argparse.Namespace) -> int:
@@ -1133,9 +1279,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--matrix",
-        choices=sorted(CHAOS_MATRICES),
+        # "zoo" materializes lazily from the scenario registry, so it is
+        # offered even before the chaos module has built it.
+        choices=sorted(set(CHAOS_MATRICES) | {"zoo"}),
         default="smoke",
-        help="named fault matrix to run (default smoke)",
+        help="named fault matrix to run (default smoke; 'zoo' crosses "
+        "every workload-zoo scenario with baseline + disk-storm)",
     )
     p.add_argument(
         "--frameworks",
@@ -1486,6 +1635,96 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the canonical-JSON bench report here "
                     "(e.g. BENCH_service.json)")
     sp.set_defaults(fn=_cmd_service_loadgen)
+
+    p = sub.add_parser(
+        "zoo",
+        help="workload zoo: modern I/O scenarios + trace-driven replay",
+    )
+    zoo_sub = p.add_subparsers(dest="zoo_command", required=True)
+
+    sp = zoo_sub.add_parser("ls", help="list registered scenarios")
+    sp.set_defaults(fn=_cmd_zoo_ls)
+
+    sp = zoo_sub.add_parser(
+        "describe", help="one scenario's parameters and I/O signature"
+    )
+    sp.add_argument("scenario", help="scenario name (see 'zoo ls')")
+    sp.add_argument("--json", action="store_true",
+                    help="emit the canonical-JSON description")
+    sp.set_defaults(fn=_cmd_zoo_describe)
+
+    def add_zoo_run_flags(sp: argparse.ArgumentParser) -> None:
+        add_sweep_flags(sp)
+        sp.add_argument("--smoke", action="store_true",
+                        help="CI-speed parameter scale")
+        sp.add_argument("--seed", type=int, default=0,
+                        help="testbed + workload seed (default 0)")
+        sp.add_argument("--framework", default=None, metavar="NAME",
+                        help="tracing framework override "
+                        "(default: each scenario's own, lanl-trace)")
+        sp.add_argument("--replay-check", action="store_true",
+                        help="replay each archived scenario from its run id "
+                        "and require an exact fidelity report "
+                        "(needs --store; nonzero exit on drift)")
+        sp.add_argument("--report-out", default=None, metavar="PATH",
+                        help="write the canonical-JSON zoo report here")
+        sp.add_argument("--bench-out", default=None, metavar="PATH",
+                        help="write BENCH_zoo.json-style gate points here")
+        sp.add_argument("--baseline", nargs="?", const="BENCH_history.jsonl",
+                        default=None, metavar="PATH",
+                        help="append the zoo gate metrics to the baseline "
+                        "history ('repro obs check' gates against it)")
+        sp.add_argument("--baseline-label", default=None, metavar="TEXT",
+                        help="free-form label stored on the --baseline record")
+
+    sp = zoo_sub.add_parser("run", help="run one scenario through the harness")
+    sp.add_argument("scenario", help="scenario name (see 'zoo ls')")
+    add_zoo_run_flags(sp)
+    sp.set_defaults(fn=_cmd_zoo_run)
+
+    sp = zoo_sub.add_parser(
+        "matrix", help="run every scenario (or a subset) as one sweep"
+    )
+    sp.add_argument("--scenarios", nargs="*", default=None, metavar="NAME",
+                    help="scenario subset (default: all registered)")
+    add_zoo_run_flags(sp)
+    sp.set_defaults(fn=_cmd_zoo_matrix)
+
+    sp = zoo_sub.add_parser(
+        "replay",
+        help="replay a real or archived trace on a simulated cluster",
+    )
+    sp.add_argument("sources", nargs="+", metavar="SOURCE",
+                    help="TraceBank run-id prefix, strace capture, or "
+                    "library trace file(s) (one rank per file)")
+    sp.add_argument("--store", default=".repro-store", metavar="DIR",
+                    help="TraceBank to resolve run-id sources against "
+                    "(default .repro-store)")
+    sp.add_argument("--timing", choices=("afap", "preserve"), default="afap",
+                    help="timing policy: as-fast-as-possible (op-schedule "
+                    "replay, default) or inter-arrival-preserving "
+                    "(the paper's end-to-end comparison)")
+    sp.add_argument("--layer", choices=("auto", "syscall", "libcall", "vfs"),
+                    default="auto",
+                    help="capture layer to script from (default auto)")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="replay testbed seed (default 0)")
+    sp.add_argument("--no-sync", action="store_true",
+                    help="free-run ranks instead of honoring recorded "
+                    "synchronization points")
+    sp.add_argument("--per-event-overhead", type=float, default=0.0,
+                    metavar="SEC",
+                    help="deperturbation: tracer cost subtracted per event "
+                    "from think times (default 0)")
+    sp.add_argument("--remap-root", default=None, metavar="DIR",
+                    help="re-root scripted paths under a simulated mount "
+                    "(default: /pfs/replay for strace sources, none "
+                    "otherwise)")
+    sp.add_argument("--require-exact", action="store_true",
+                    help="exit nonzero unless the fidelity report is exact")
+    sp.add_argument("--report-out", default=None, metavar="PATH",
+                    help="write the canonical-JSON fidelity report here")
+    sp.set_defaults(fn=_cmd_zoo_replay)
 
     return parser
 

@@ -72,13 +72,35 @@ CHAOS_HORIZON = 30.0
 
 @dataclass(frozen=True)
 class ChaosScenario:
-    """One named fault schedule with its execution policy."""
+    """One named fault schedule with its execution policy.
+
+    ``workload``/``workload_args``/``nprocs``, when set, override the
+    matrix defaults (the paper's ``mpi_io_test`` smoke shape) — this is
+    how zoo scenarios become chaos rows: same fault plane, different
+    application.  ``workload_args`` is a sorted kv-tuple so the scenario
+    stays hashable and pickle-stable.
+    """
 
     name: str
     schedule: FaultSchedule
     horizon: float = CHAOS_HORIZON
     retries: int = 1
     description: str = ""
+    workload: Optional[str] = None
+    workload_args: Tuple[Tuple[str, Any], ...] = ()
+    nprocs: Optional[int] = None
+
+    def effective_workload(self) -> str:
+        """The registered workload this scenario runs (matrix default: mpi_io_test)."""
+        return self.workload or "mpi_io_test"
+
+    def effective_args(self) -> Dict[str, Any]:
+        """The workload arguments, falling back to the smoke shape."""
+        return dict(self.workload_args) if self.workload_args else _smoke_workload_args()
+
+    def effective_nprocs(self) -> int:
+        """Ranks for this scenario's points (matrix default: CHAOS_NPROCS)."""
+        return self.nprocs if self.nprocs is not None else CHAOS_NPROCS
 
 
 def _smoke_scenarios() -> Tuple[ChaosScenario, ...]:
@@ -127,10 +149,63 @@ def _smoke_scenarios() -> Tuple[ChaosScenario, ...]:
     )
 
 
-#: matrix name -> scenario tuple.  ``smoke`` is the CI acceptance matrix.
+def _zoo_scenarios() -> Tuple[ChaosScenario, ...]:
+    """Every zoo scenario as a (baseline, disk-storm) chaos pair.
+
+    The zoo registry is imported lazily to keep the module dependency
+    one-way (zoo depends on the harness, never on the fault matrices).
+    """
+    from repro.zoo.registry import SCENARIOS
+
+    rows: List[ChaosScenario] = []
+    for zc in SCENARIOS.values():
+        args = tuple(sorted(zc.args(smoke=True).items()))
+        rows.append(
+            ChaosScenario(
+                name="%s/baseline" % zc.name,
+                schedule=FaultSchedule(name="baseline"),
+                description="no faults — %s reference" % zc.name,
+                workload=zc.workload,
+                workload_args=args,
+                nprocs=zc.nprocs,
+            )
+        )
+        rows.append(
+            ChaosScenario(
+                name="%s/disk-storm" % zc.name,
+                schedule=FaultSchedule.of(
+                    DiskSlowdown(at=0.02, duration=0.08, extra_latency=2e-3,
+                                 mount="/pfs"),
+                    name="disk-storm",
+                ),
+                description="PFS adds 2ms/op for 80ms under %s" % zc.name,
+                workload=zc.workload,
+                workload_args=args,
+                nprocs=zc.nprocs,
+            )
+        )
+    return tuple(rows)
+
+
+#: matrix name -> scenario tuple.  ``smoke`` is the CI acceptance matrix;
+#: ``zoo`` crosses every registered zoo scenario with a no-fault baseline
+#: and a disk storm.
 CHAOS_MATRICES: Dict[str, Tuple[ChaosScenario, ...]] = {
     "smoke": _smoke_scenarios(),
 }
+
+
+def _chaos_matrix(matrix: str) -> Tuple[ChaosScenario, ...]:
+    """Resolve a matrix by name; the zoo matrix materializes lazily."""
+    if matrix == "zoo" and "zoo" not in CHAOS_MATRICES:
+        CHAOS_MATRICES["zoo"] = _zoo_scenarios()
+    try:
+        return CHAOS_MATRICES[matrix]
+    except KeyError:
+        raise FaultError(
+            "unknown chaos matrix %r (known: %s)"
+            % (matrix, ", ".join(sorted(set(CHAOS_MATRICES) | {"zoo"})))
+        ) from None
 
 
 def _smoke_workload_args() -> Dict[str, Any]:
@@ -460,23 +535,19 @@ def build_chaos_specs(
 
     ``store`` makes each scenario archive its traced (possibly partial)
     bundle into the TraceBank there, tagged with the scenario name and
-    run status.
+    run status.  Scenarios carrying their own workload (zoo rows) run it
+    on their own cluster shape; the rest run the ``mpi_io_test`` smoke
+    shape.
     """
-    try:
-        scenarios = CHAOS_MATRICES[matrix]
-    except KeyError:
-        raise FaultError(
-            "unknown chaos matrix %r (known: %s)"
-            % (matrix, ", ".join(sorted(CHAOS_MATRICES)))
-        ) from None
+    scenarios = _chaos_matrix(matrix)
     config = chaos_testbed(seed=seed)
     return [
         RunSpec.create(
             fw,
-            "mpi_io_test",
-            _smoke_workload_args(),
+            sc.effective_workload(),
+            sc.effective_args(),
             config=config,
-            nprocs=CHAOS_NPROCS,
+            nprocs=sc.effective_nprocs(),
             seed=seed,
             faults=sc.schedule,
             sim_timeout=sc.horizon,
@@ -507,7 +578,7 @@ def run_chaos_matrix(
     archives each scenario's traced bundle; rows then carry the archived
     ``store_run_id`` (content-derived, so still byte-stable).
     """
-    scenarios = CHAOS_MATRICES[matrix] if matrix in CHAOS_MATRICES else None
+    scenarios = _chaos_matrix(matrix)
     specs = build_chaos_specs(
         matrix, frameworks=frameworks, seed=seed, store=store,
         store_codec=store_codec,
@@ -515,7 +586,10 @@ def run_chaos_matrix(
     result = run_sweep(specs, jobs=jobs, cache=cache, progress=progress)
 
     rows: List[Dict[str, Any]] = []
-    baselines: Dict[str, float] = {}
+    # Baselines are keyed (framework, workload): a matrix mixing
+    # workloads (the zoo matrix) gets one no-fault reference per
+    # application, not one global reference.
+    baselines: Dict[Tuple[str, str], float] = {}
     idx = 0
     for fw in frameworks:
         for sc in scenarios:
@@ -524,11 +598,12 @@ def run_chaos_matrix(
             chaos = point.chaos or {}
             survived = point.error is None
             overhead = point.elapsed_overhead if survived else None
-            if survived and sc.name == "baseline":
-                baselines[fw] = overhead
+            if survived and sc.schedule.is_empty:
+                baselines[(fw, sc.effective_workload())] = overhead
             row = {
                 "framework": fw,
                 "scenario": sc.name,
+                "workload": sc.effective_workload(),
                 "survived": survived,
                 "status": {
                     "untraced": chaos.get("untraced", {}).get("status"),
@@ -547,7 +622,7 @@ def run_chaos_matrix(
             }
             rows.append(row)
     for row in rows:
-        base = baselines.get(row["framework"])
+        base = baselines.get((row["framework"], row["workload"]))
         if row["elapsed_overhead"] is not None and base is not None:
             row["overhead_delta"] = row["elapsed_overhead"] - base
     report = {
@@ -559,7 +634,8 @@ def run_chaos_matrix(
         "scenarios": [
             {"name": sc.name, "description": sc.description,
              "schedule": sc.schedule.describe(), "horizon": sc.horizon,
-             "retries": sc.retries}
+             "retries": sc.retries, "workload": sc.effective_workload(),
+             "nprocs": sc.effective_nprocs()}
             for sc in scenarios
         ],
         "rows": rows,

@@ -547,6 +547,24 @@ def execute_spec_safe(spec: RunSpec) -> PointResult:
         )
 
 
+def _store_has_run(store: str, run_id: str) -> bool:
+    """Whether ``run_id`` is actually present in the ``store`` archive.
+
+    Guards cache hits for archived specs: the cache key deliberately
+    excludes the store *path* (run ids are content-derived), so a hit can
+    carry a run id that was ingested into a different archive.  Serving
+    that hit against a fresh store would hand out a dangling run id.
+    """
+    from repro.errors import ReproError as _ReproError
+    from repro.store.bank import TraceBank
+
+    try:
+        TraceBank(store, create=False).manifest(run_id)
+        return True
+    except (_ReproError, OSError):
+        return False
+
+
 def run_sweep(
     specs: List[RunSpec],
     jobs: int = 1,
@@ -576,6 +594,16 @@ def run_sweep(
     total = len(specs)
     for i, spec in enumerate(specs):
         got = cache.get(spec) if cache is not None else None
+        if (
+            got is not None
+            and spec.store is not None
+            and got.store_run_id is not None
+            and not _store_has_run(spec.store, got.store_run_id)
+        ):
+            # Archived point cached from a run against a *different*
+            # store: the numbers are valid but the bundle is not in this
+            # archive.  Re-execute so the ingest happens here too.
+            got = None
         if got is not None:
             results[i] = replace(got, cached=True)
             hits += 1
@@ -645,6 +673,12 @@ def _register_builtins() -> None:
     from repro.frameworks.ptrace import PTrace, PTraceConfig
     from repro.frameworks.tracefs import Tracefs, TracefsConfig
     from repro.workloads import mpi_io_test
+    from repro.workloads.zoo_workloads import (
+        checkpoint_tiered,
+        log_append,
+        metadata_storm,
+        ml_epoch,
+    )
 
     FRAMEWORK_FACTORIES.setdefault(
         "lanl-trace", lambda params: LANLTrace(LANLTraceConfig(**params))
@@ -656,6 +690,10 @@ def _register_builtins() -> None:
         "ptrace", lambda params: PTrace(PTraceConfig(**params))
     )
     WORKLOADS.setdefault("mpi_io_test", mpi_io_test)
+    WORKLOADS.setdefault("zoo_checkpoint_tiered", checkpoint_tiered)
+    WORKLOADS.setdefault("zoo_ml_epoch", ml_epoch)
+    WORKLOADS.setdefault("zoo_log_append", log_append)
+    WORKLOADS.setdefault("zoo_metadata_storm", metadata_storm)
 
 
 _register_builtins()

@@ -14,16 +14,31 @@ do not look like syscalls (signals, exits) are skipped.  Parsed events
 use the library's shared model, with names normalized to the simulated
 spelling (``openat`` → ``SYS_open``) so downstream tools (summaries,
 pseudo-app builders) treat real and simulated traces identically.
+
+Real strace output is hostile input: interleaved ``<unfinished ...>`` /
+``<... resumed>`` pairs, interrupted syscalls returning ``?``, signal
+and exit markers, and path arguments that are not valid UTF-8 (strace
+octal-escapes them, but a capture file can also simply contain raw
+bytes).  :func:`parse_strace` therefore **never raises**: every line
+either parses, or is skipped under a counted warning —
+:class:`StraceParseResult.warnings` is the per-category tally, and the
+crash corpus under ``tests/host/corpus/`` pins the contract.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.trace.events import EventLayer, TraceEvent
 
-__all__ = ["parse_strace_line", "parse_strace_output"]
+__all__ = [
+    "StraceParseResult",
+    "parse_strace",
+    "parse_strace_line",
+    "parse_strace_output",
+]
 
 _LINE_RE = re.compile(
     r"^(?:(?P<pid>\d+)\s+)?"
@@ -42,6 +57,9 @@ _RESUMED_RE = re.compile(
     r"=\s*(?P<result>-?\d+|0x[0-9a-f]+|\?)(?:\s+(?P<errno>E[A-Z]+)[^<]*)?"
     r"(?:\s*<(?P<dur>\d+\.\d+)>)?\s*$"
 )
+
+#: Signal deliveries and process exits — expected non-syscall lines.
+_NOISE_RE = re.compile(r"^(?:(?:\d+)\s+)?(?:\d+\.\d+\s+)?(?:---|\+\+\+)")
 
 #: real syscall name -> this library's canonical spelling
 _NAME_MAP = {
@@ -82,6 +100,38 @@ _PATH_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 _IO_NAMES = {"SYS_read", "SYS_write", "SYS_pread64", "SYS_pwrite64"}
 
 
+@dataclass
+class StraceParseResult:
+    """Outcome of a whole-output parse: events plus a warning tally.
+
+    ``warnings`` maps category → count.  Categories:
+
+    * ``undecodable_bytes`` — lines that were not valid UTF-8 (decoded
+      with backslash escapes so path bytes survive round trips);
+    * ``unmapped_syscall`` — well-formed syscall lines whose name has no
+      simulated counterpart (``futex``, ``exit_group``, ...);
+    * ``unparsed_line`` — lines matching no known strace shape;
+    * ``unmatched_resumed`` — ``<... resumed>`` with no pending
+      ``<unfinished ...>`` partner (capture started mid-syscall);
+    * ``unresolved_unfinished`` — ``<unfinished ...>`` never resumed
+      (capture ended mid-syscall);
+    * ``line_error`` — lines whose parse raised; the line is skipped,
+      the parse continues.
+    """
+
+    events: List[TraceEvent] = field(default_factory=list)
+    warnings: Dict[str, int] = field(default_factory=dict)
+    n_lines: int = 0
+
+    def warn(self, category: str) -> None:
+        """Count one skipped line under ``category``."""
+        self.warnings[category] = self.warnings.get(category, 0) + 1
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+
 def _extract_path(name: str, argtext: str) -> Optional[str]:
     if name in ("SYS_open", "SYS_stat64", "SYS_unlink", "SYS_mkdir", "SYS_rename",
                 "SYS_statfs64"):
@@ -102,98 +152,168 @@ def _extract_fd(name: str, argtext: str) -> Optional[int]:
     return None
 
 
-def parse_strace_line(line: str) -> Optional[TraceEvent]:
-    """Parse one complete (non-split) strace line, or return None."""
-    m = _LINE_RE.match(line.strip())
-    if not m or m.group("result") is None:
-        return None
-    raw_name = m.group("name")
-    name = _NAME_MAP.get(raw_name)
-    if name is None:
-        return None
-    result_text = m.group("result")
-    result: Optional[object]
+def _parse_result(result_text: str, errno: Optional[str]) -> object:
     if result_text == "?":
-        result = None
-    else:
-        try:
-            result = int(result_text, 0)
-        except ValueError:
-            result = result_text
-    if m.group("errno"):
-        result = "-1 %s" % m.group("errno")
-    argtext = m.group("args") or ""
+        # Interrupted syscall (killed mid-call, or exit_group): no
+        # return value ever materialized.
+        return None
+    try:
+        result: object = int(result_text, 0)
+    except ValueError:
+        result = result_text
+    if errno:
+        result = "-1 %s" % errno
+    return result
+
+
+def _build_event(
+    name: str,
+    ts: float,
+    dur: Optional[str],
+    argtext: str,
+    result: object,
+    pid: int,
+) -> TraceEvent:
     nbytes: Optional[int] = None
     if name in _IO_NAMES and isinstance(result, int) and result >= 0:
         nbytes = result
-    event = TraceEvent(
-        timestamp=float(m.group("ts")),
-        duration=float(m.group("dur")) if m.group("dur") else 0.0,
+    return TraceEvent(
+        timestamp=ts,
+        duration=float(dur) if dur else 0.0,
         layer=EventLayer.SYSCALL,
         name=name,
         args=(argtext,),
         result=result,
-        pid=int(m.group("pid")) if m.group("pid") else 0,
+        pid=pid,
         path=_extract_path(name, argtext),
         fd=_extract_fd(name, argtext),
         nbytes=nbytes,
     )
+
+
+def parse_strace_line(line: str) -> Optional[TraceEvent]:
+    """Parse one complete (non-split) strace line, or return None."""
+    event, _reason = _parse_complete_line(line)
     return event
 
 
-def parse_strace_output(text: str) -> List[TraceEvent]:
-    """Parse a whole strace output, stitching unfinished/resumed pairs."""
-    events: List[TraceEvent] = []
+def _parse_complete_line(line: str) -> Tuple[Optional[TraceEvent], Optional[str]]:
+    """(event, None) on success; (None, warning-category) otherwise."""
+    m = _LINE_RE.match(line.strip())
+    if not m or m.group("result") is None:
+        return None, "unparsed_line"
+    raw_name = m.group("name")
+    name = _NAME_MAP.get(raw_name)
+    if name is None:
+        return None, "unmapped_syscall"
+    result = _parse_result(m.group("result"), m.group("errno"))
+    event = _build_event(
+        name=name,
+        ts=float(m.group("ts")),
+        dur=m.group("dur"),
+        argtext=m.group("args") or "",
+        result=result,
+        pid=int(m.group("pid")) if m.group("pid") else 0,
+    )
+    return event, None
+
+
+def _decode_lines(data: Union[str, bytes], result: StraceParseResult) -> List[str]:
+    if isinstance(data, str):
+        return data.splitlines()
+    lines: List[str] = []
+    for raw in data.splitlines():
+        try:
+            lines.append(raw.decode("utf-8"))
+        except UnicodeDecodeError:
+            # Raw path bytes in the capture: keep the line, escape the
+            # bytes (matching strace's own octal-escape habit), count it.
+            result.warn("undecodable_bytes")
+            lines.append(raw.decode("utf-8", errors="backslashreplace"))
+    return lines
+
+
+def parse_strace(data: Union[str, bytes]) -> StraceParseResult:
+    """Parse a whole strace output; never raises (see class docstring).
+
+    Accepts text or raw bytes (``strace`` output files are not
+    guaranteed to be valid UTF-8 — paths are arbitrary bytes).
+    Unfinished/resumed pairs are stitched by (pid, syscall name);
+    everything unparseable is skipped under a counted warning.
+    """
+    result = StraceParseResult()
     pending: Dict[Tuple[int, str], Tuple[float, str]] = {}
-    for line in text.splitlines():
+    for line in _decode_lines(data, result):
         stripped = line.strip()
         if not stripped:
             continue
-        resumed = _RESUMED_RE.match(stripped)
-        if resumed:
-            name = _NAME_MAP.get(resumed.group("name"))
-            pid = int(resumed.group("pid")) if resumed.group("pid") else 0
-            start = pending.pop((pid, resumed.group("name")), None)
-            if name is None or start is None:
-                continue
-            ts, argtext = start
-            result_text = resumed.group("result")
-            try:
-                result: object = int(result_text, 0)
-            except ValueError:
-                result = None if result_text == "?" else result_text
-            if resumed.group("errno"):
-                result = "-1 %s" % resumed.group("errno")
-            nbytes = (
-                result
-                if name in _IO_NAMES and isinstance(result, int) and result >= 0
-                else None
+        result.n_lines += 1
+        try:
+            _parse_one(stripped, pending, result)
+        except Exception:
+            # A single hostile line must never kill a whole-capture
+            # parse; skip it, count it, keep going.
+            result.warn("line_error")
+    for _key in pending:
+        result.warn("unresolved_unfinished")
+    return result
+
+
+def _parse_one(
+    stripped: str,
+    pending: Dict[Tuple[int, str], Tuple[float, str]],
+    result: StraceParseResult,
+) -> None:
+    resumed = _RESUMED_RE.match(stripped)
+    if resumed:
+        raw_name = resumed.group("name")
+        pid = int(resumed.group("pid")) if resumed.group("pid") else 0
+        start = pending.pop((pid, raw_name), None)
+        if start is None:
+            result.warn("unmatched_resumed")
+            return
+        name = _NAME_MAP.get(raw_name)
+        if name is None:
+            result.warn("unmapped_syscall")
+            return
+        ts, argtext = start
+        res = _parse_result(resumed.group("result"), resumed.group("errno"))
+        result.events.append(
+            _build_event(
+                name=name,
+                ts=ts,
+                dur=resumed.group("dur"),
+                argtext=argtext,
+                result=res,
+                pid=pid,
             )
-            events.append(
-                TraceEvent(
-                    timestamp=ts,
-                    duration=float(resumed.group("dur")) if resumed.group("dur") else 0.0,
-                    layer=EventLayer.SYSCALL,
-                    name=name,
-                    args=(argtext,),
-                    result=result,
-                    pid=pid,
-                    path=_extract_path(name, argtext),
-                    fd=_extract_fd(name, argtext),
-                    nbytes=nbytes,
-                )
+        )
+        return
+    if stripped.endswith("<unfinished ...>"):
+        m = _LINE_RE.match(stripped)
+        if m:
+            pid = int(m.group("pid")) if m.group("pid") else 0
+            pending[(pid, m.group("name"))] = (
+                float(m.group("ts")),
+                m.group("args") or "",
             )
-            continue
-        if stripped.endswith("<unfinished ...>"):
-            m = _LINE_RE.match(stripped)
-            if m:
-                pid = int(m.group("pid")) if m.group("pid") else 0
-                pending[(pid, m.group("name"))] = (
-                    float(m.group("ts")),
-                    m.group("args") or "",
-                )
-            continue
-        event = parse_strace_line(stripped)
-        if event is not None:
-            events.append(event)
-    return events
+        else:
+            result.warn("unparsed_line")
+        return
+    if _NOISE_RE.match(stripped):
+        # Signal delivery / process exit markers: expected, not warned.
+        return
+    event, reason = _parse_complete_line(stripped)
+    if event is not None:
+        result.events.append(event)
+    elif reason is not None:
+        result.warn(reason)
+
+
+def parse_strace_output(text: Union[str, bytes]) -> List[TraceEvent]:
+    """Parse a whole strace output, stitching unfinished/resumed pairs.
+
+    Back-compat wrapper around :func:`parse_strace`: just the events,
+    warnings dropped.
+    """
+    return parse_strace(text).events

@@ -87,6 +87,11 @@ METRIC_SPECS: Dict[str, Dict[str, float]] = {
     # per second across the loadgen's ingest/query mix.  Host-clock rate
     # over sockets — more req/s is better, wide noise floor.
     "service_req_per_sec": {"direction": -1, "rel_floor": 0.30, "abs_floor": 1.0},
+    # Workload-zoo replay throughput (BENCH_zoo.json): simulated kernel
+    # events the replay testbed dispatched per host second while
+    # re-executing an archived scenario's op schedule.  Host-clock rate —
+    # more events/s is better, wide noise floor.
+    "zoo_replay_events_per_sec": {"direction": -1, "rel_floor": 0.30, "abs_floor": 1.0},
 }
 
 

@@ -17,17 +17,31 @@ imagine — both paths are implemented here:
 """
 
 from repro.replay.pseudoapp import PseudoApp, RankScript, ReplayOp, build_pseudoapp
-from repro.replay.replayer import ReplayResult, replay
-from repro.replay.fidelity import FidelityResult, compare_end_to_end, compare_traces
+from repro.replay.replayer import RankReplayStats, ReplayResult, TIMING_POLICIES, replay
+from repro.replay.fidelity import (
+    FidelityResult,
+    compare_end_to_end,
+    compare_profiles,
+    compare_traces,
+    fidelity_report,
+    replay_profile,
+    schedule_profile,
+)
 
 __all__ = [
     "PseudoApp",
     "RankScript",
     "ReplayOp",
     "build_pseudoapp",
+    "RankReplayStats",
     "ReplayResult",
+    "TIMING_POLICIES",
     "replay",
     "FidelityResult",
     "compare_end_to_end",
+    "compare_profiles",
     "compare_traces",
+    "fidelity_report",
+    "replay_profile",
+    "schedule_profile",
 ]

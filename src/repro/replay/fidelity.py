@@ -7,17 +7,56 @@ The paper gives two verification methods, both implemented:
 * "use the I/O Tracing Framework to trace both the pseudo-application and
   the original application and compare the traces generated" —
   :func:`compare_traces`.
+
+Beyond the paper's two scalars, the zoo's replay pipeline needs a
+*per-op-class* account: a replay that writes the right bytes but drops
+every stat/unlink is not faithful to a metadata storm.  Ops are split
+into three classes — ``read``, ``write``, ``metadata`` (open/close/
+fsync/stat/unlink/mkdir) — and :func:`fidelity_report` compares the
+compiled source schedule against the executed replay class by class,
+with byte and count deltas that are exact integers (no ratios that
+divide by zero on an empty source trace).
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict, Optional
 
 from repro.trace.records import TraceBundle
 
-__all__ = ["FidelityResult", "compare_end_to_end", "compare_traces"]
+__all__ = [
+    "FidelityResult",
+    "OP_CLASSES",
+    "classify_kind",
+    "compare_end_to_end",
+    "compare_profiles",
+    "compare_traces",
+    "fidelity_report",
+    "replay_profile",
+    "schedule_profile",
+]
+
+#: The fidelity account's op classes, in report order.
+OP_CLASSES = ("read", "write", "metadata")
+
+#: replay op kind -> op class (``sync`` is control flow, not an I/O op).
+_KIND_CLASS = {
+    "read": "read",
+    "write": "write",
+    "open": "metadata",
+    "close": "metadata",
+    "fsync": "metadata",
+    "stat": "metadata",
+    "unlink": "metadata",
+    "mkdir": "metadata",
+}
+
+
+def classify_kind(kind: str) -> Optional[str]:
+    """The op class of a replay op kind, or None for control ops."""
+    return _KIND_CLASS.get(kind)
 
 
 @dataclass(frozen=True)
@@ -48,6 +87,11 @@ def compare_end_to_end(original_elapsed: float, replay_elapsed: float) -> Fideli
 
 _WRITE_LIKE = {"SYS_write", "SYS_pwrite64", "vfs_write"}
 _READ_LIKE = {"SYS_read", "SYS_pread64", "vfs_read"}
+_METADATA_LIKE = {
+    "SYS_open", "SYS_close", "SYS_fsync", "SYS_stat64", "SYS_fstat64",
+    "SYS_unlink", "SYS_mkdir",
+    "vfs_open", "vfs_fsync",
+}
 
 
 def _normalize_name(name: str) -> str:
@@ -61,15 +105,179 @@ def _normalize_name(name: str) -> str:
         return "write"
     if name in _READ_LIKE:
         return "read"
+    if name in _METADATA_LIKE:
+        return "metadata"
     return name
 
 
-def compare_traces(original: TraceBundle, replayed: TraceBundle) -> Dict[str, float]:
+def _empty_profile() -> Dict[str, Dict[str, int]]:
+    return {cls: {"count": 0, "bytes": 0} for cls in OP_CLASSES}
+
+
+def schedule_profile(app: Any) -> Dict[str, Any]:
+    """Per-class op counts and issued bytes of a compiled pseudo-app.
+
+    This is the *source side* of the fidelity comparison: what the trace
+    says the application did, expressed in the replayer's own op
+    vocabulary so both sides of the comparison count the same things.
+    """
+    classes = _empty_profile()
+    kinds: Dict[str, int] = {}
+    syncs = 0
+    for script in app.scripts.values():
+        for op in script.ops:
+            if op.kind == "sync":
+                syncs += 1
+                continue
+            kinds[op.kind] = kinds.get(op.kind, 0) + 1
+            cls = _KIND_CLASS.get(op.kind)
+            if cls is None:
+                continue
+            classes[cls]["count"] += 1
+            if cls in ("read", "write"):
+                classes[cls]["bytes"] += int(op.nbytes or 0)
+    return {
+        "classes": classes,
+        "kinds": dict(sorted(kinds.items())),
+        "syncs": syncs,
+        "total_ops": sum(kinds.values()),
+        "total_bytes": classes["read"]["bytes"] + classes["write"]["bytes"],
+    }
+
+
+def replay_profile(result: Any) -> Dict[str, Any]:
+    """Per-class executed ops and issued bytes of a finished replay.
+
+    ``result`` is a :class:`~repro.replay.replayer.ReplayResult`; the
+    bytes here are *issued* (requested) sizes, matching what the source
+    schedule scripted — transferred bytes ride along separately.
+    """
+    classes = _empty_profile()
+    kinds = result.op_counts()
+    syncs = kinds.pop("sync", 0)
+    issued = result.issued_bytes()
+    for kind, n in kinds.items():
+        cls = _KIND_CLASS.get(kind)
+        if cls is not None:
+            classes[cls]["count"] += n
+    classes["read"]["bytes"] = issued["read"]
+    classes["write"]["bytes"] = issued["write"]
+    return {
+        "classes": classes,
+        "kinds": dict(sorted(kinds.items())),
+        "syncs": syncs,
+        "skipped": result.skipped_counts(),
+        "total_ops": sum(kinds.values()),
+        "total_bytes": issued["read"] + issued["write"],
+        "transferred_bytes": {
+            "read": sum(s.bytes_read for s in result.job.results),
+            "write": sum(s.bytes_written for s in result.job.results),
+        },
+    }
+
+
+def _ratio(a: int, b: int) -> float:
+    """min/max agreement in [0, 1]; two empty sides agree perfectly."""
+    if a == 0 and b == 0:
+        return 1.0
+    if min(a, b) <= 0:
+        return 0.0
+    return min(a, b) / max(a, b)
+
+
+def compare_profiles(
+    source: Dict[str, Any], replayed: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Per-class deltas between a source schedule and a replay.
+
+    Deltas are integers (replay minus source) — exact, and safe for an
+    empty source trace where any ratio would divide by zero; the
+    ``*_similarity`` companions are min/max ratios with the two-empty
+    case defined as 1.0.
+    """
+    per_class: Dict[str, Any] = {}
+    for cls in OP_CLASSES:
+        s = source["classes"][cls]
+        r = replayed["classes"][cls]
+        per_class[cls] = {
+            "source_count": s["count"],
+            "replay_count": r["count"],
+            "count_delta": r["count"] - s["count"],
+            "count_similarity": _ratio(s["count"], r["count"]),
+            "source_bytes": s["bytes"],
+            "replay_bytes": r["bytes"],
+            "byte_delta": r["bytes"] - s["bytes"],
+            "byte_similarity": _ratio(s["bytes"], r["bytes"]),
+        }
+    exact = all(
+        per_class[cls]["count_delta"] == 0 and per_class[cls]["byte_delta"] == 0
+        for cls in OP_CLASSES
+    ) and not replayed.get("skipped")
+    return {"per_class": per_class, "exact": exact}
+
+
+def fidelity_report(
+    app: Any,
+    result: Any,
+    source_label: str = "",
+    original_elapsed: Optional[float] = None,
+) -> Dict[str, Any]:
+    """The full replay fidelity report: op mix, bytes, and timing.
+
+    ``app`` is the compiled pseudo-application (the source schedule),
+    ``result`` the :class:`~repro.replay.replayer.ReplayResult` of
+    executing it.  ``original_elapsed``, when known (library traces know
+    their span; strace traces their timestamp range), adds the paper's
+    end-to-end timing comparison — meaningful under the ``preserve``
+    timing policy, reported either way with the policy attached.
+
+    The report is plain JSON data with no host clock anywhere, so it is
+    byte-identical across reruns of the same replay.
+    """
+    source = schedule_profile(app)
+    replayed = replay_profile(result)
+    cmp = compare_profiles(source, replayed)
+    unreplayable = dict(app.metadata.get("unreplayable", {}) or {})
+    report: Dict[str, Any] = {
+        "schema": "repro/replay/fidelity/v1",
+        "source": {
+            "label": source_label,
+            "framework": app.source_framework,
+            "layer": app.metadata.get("layer"),
+            "nprocs": app.nprocs,
+            "profile": source,
+            "unreplayable": unreplayable,
+        },
+        "replay": {
+            "timing": result.timing,
+            "elapsed": result.elapsed,
+            "bytes_replayed": result.bytes_replayed,
+            "events_executed": result.events_executed,
+            "profile": replayed,
+        },
+        "per_class": cmp["per_class"],
+        # Exact means: every scheduled op executed, none skipped, issued
+        # bytes match the schedule to the byte, and nothing the source
+        # captured was dropped on the compile floor.
+        "exact": bool(cmp["exact"] and not unreplayable),
+    }
+    if original_elapsed is not None:
+        end_to_end = compare_end_to_end(original_elapsed, result.elapsed)
+        report["end_to_end"] = {
+            "original_elapsed": end_to_end.original_elapsed,
+            "replay_elapsed": end_to_end.replay_elapsed,
+            "error_percent": end_to_end.error_percent,
+        }
+    return report
+
+
+def compare_traces(original: TraceBundle, replayed: TraceBundle) -> Dict[str, Any]:
     """Trace-vs-trace comparison: I/O signature similarity metrics.
 
     Compares the *data-bearing system/VFS call* footprint (library-level
     duplicates of the same transfer are excluded).  Returns per-metric
-    agreement in [0, 1]:
+    agreement in [0, 1], plus a ``per_class`` breakdown of counts and
+    bytes for the read/write/metadata split:
 
     * ``op_count_similarity`` — multiset overlap of normalized I/O ops;
     * ``byte_similarity`` — min/max ratio of payload bytes moved;
@@ -86,6 +294,21 @@ def compare_traces(original: TraceBundle, replayed: TraceBundle) -> Dict[str, fl
             and _normalize_name(e.name) in ("read", "write")
         ]
 
+    def _class_profile(bundle: TraceBundle) -> Dict[str, Dict[str, int]]:
+        classes = _empty_profile()
+        for e in bundle.all_events():
+            if e.layer not in (EventLayer.SYSCALL, EventLayer.VFS):
+                continue
+            cls = _normalize_name(e.name)
+            if cls not in classes:
+                continue
+            if cls in ("read", "write") and e.nbytes is None:
+                continue
+            classes[cls]["count"] += 1
+            if cls in ("read", "write"):
+                classes[cls]["bytes"] += int(e.nbytes)
+        return classes
+
     a, b = _io_events(original), _io_events(replayed)
     names_a = Counter(_normalize_name(e.name) for e in a)
     names_b = Counter(_normalize_name(e.name) for e in b)
@@ -95,12 +318,7 @@ def compare_traces(original: TraceBundle, replayed: TraceBundle) -> Dict[str, fl
 
     bytes_a = sum(e.nbytes for e in a)
     bytes_b = sum(e.nbytes for e in b)
-    if bytes_a == bytes_b == 0:
-        byte_similarity = 1.0
-    elif min(bytes_a, bytes_b) == 0:
-        byte_similarity = 0.0
-    else:
-        byte_similarity = min(bytes_a, bytes_b) / max(bytes_a, bytes_b)
+    byte_similarity = _ratio(bytes_a, bytes_b)
 
     offs_a = {(e.offset, e.nbytes) for e in a if e.offset is not None}
     offs_b = {(e.offset, e.nbytes) for e in b if e.offset is not None}
@@ -109,8 +327,22 @@ def compare_traces(original: TraceBundle, replayed: TraceBundle) -> Dict[str, fl
     else:
         offset_coverage = len(offs_a & offs_b) / len(offs_a | offs_b)
 
+    prof_a, prof_b = _class_profile(original), _class_profile(replayed)
+    per_class = {
+        cls: {
+            "source_count": prof_a[cls]["count"],
+            "replay_count": prof_b[cls]["count"],
+            "count_delta": prof_b[cls]["count"] - prof_a[cls]["count"],
+            "source_bytes": prof_a[cls]["bytes"],
+            "replay_bytes": prof_b[cls]["bytes"],
+            "byte_delta": prof_b[cls]["bytes"] - prof_a[cls]["bytes"],
+        }
+        for cls in OP_CLASSES
+    }
+
     return {
         "op_count_similarity": op_count_similarity,
         "byte_similarity": byte_similarity,
         "offset_coverage": offset_coverage,
+        "per_class": per_class,
     }

@@ -39,6 +39,12 @@ _SYSCALL_KINDS = {
     "SYS_read": "read",
     "SYS_pread64": "read",
     "SYS_fsync": "fsync",
+    # Metadata ops: without them a metadata-heavy trace (create/stat/
+    # unlink storms) would replay as an empty schedule.
+    "SYS_stat64": "stat",
+    "SYS_fstat64": "stat",
+    "SYS_unlink": "unlink",
+    "SYS_mkdir": "mkdir",
 }
 _LIBCALL_KINDS = {
     "MPI_File_open": "open",
@@ -65,7 +71,7 @@ class ReplayOp:
     """One scripted operation.
 
     ``think_time`` is the CPU gap *before* this op; ``kind`` is one of
-    open/close/write/read/fsync/sync.
+    open/close/write/read/fsync/stat/unlink/mkdir/sync.
     """
 
     kind: str
@@ -124,6 +130,48 @@ def _event_kind(event: TraceEvent, layer: EventLayer) -> Optional[str]:
     return _SYSCALL_KINDS.get(event.name)
 
 
+class _FdState:
+    """Compile-time descriptor table: resolves fd-only events to paths.
+
+    Close and fsync events (and strace read/write lines) carry a file
+    descriptor but no path; the open event that produced the descriptor
+    carries both the path and — as its result — the fd number.  Walking
+    the trace with this table turns fd-addressed events into scriptable
+    path-addressed ops, and assigns sequential offsets to positional
+    reads/writes that recorded none (strace sources).
+    """
+
+    def __init__(self) -> None:
+        self.paths: Dict[int, str] = {}
+        self.positions: Dict[int, int] = {}
+
+    def opened(self, event: TraceEvent) -> None:
+        if event.path is not None and isinstance(event.result, int) and event.result >= 0:
+            self.paths[event.result] = event.path
+            self.positions[event.result] = 0
+
+    def resolve(self, event: TraceEvent) -> Optional[str]:
+        if event.path is not None:
+            return event.path
+        if event.fd is not None:
+            return self.paths.get(event.fd)
+        return None
+
+    def offset_for(self, event: TraceEvent, kind: str) -> Optional[int]:
+        if event.offset is not None:
+            return event.offset
+        if kind not in ("read", "write") or event.fd is None:
+            return None
+        pos = self.positions.get(event.fd, 0)
+        self.positions[event.fd] = pos + (event.nbytes or 0)
+        return pos
+
+    def closed(self, event: TraceEvent) -> None:
+        if event.fd is not None:
+            self.paths.pop(event.fd, None)
+            self.positions.pop(event.fd, None)
+
+
 def build_pseudoapp(
     bundle: TraceBundle,
     layer: EventLayer = EventLayer.LIBCALL,
@@ -137,8 +185,15 @@ def build_pseudoapp(
     raw traces — the paper's "trivial to imagine" replayer).
     ``per_event_overhead`` is subtracted from every think-time gap per
     intervening traced event (deperturbation).
+
+    The returned app's ``metadata["unreplayable"]`` counts the events at
+    the scripting layer that could not be compiled into ops (unknown
+    names, fd-addressed events whose open predates the capture), per
+    event name — the fidelity report surfaces them so a lossy compile is
+    never mistaken for an exact one.
     """
     scripts: Dict[int, RankScript] = {}
+    unreplayable: Dict[str, int] = {}
     for key in sorted(bundle.files):
         tf = bundle.files[key]
         rank = tf.rank if tf.rank is not None else key
@@ -147,6 +202,7 @@ def build_pseudoapp(
             # Fall back to whatever layer the bundle has (e.g. Tracefs VFS).
             events = list(tf.events)
         script = RankScript(rank=rank)
+        fd_state = _FdState()
         prev_end: Optional[float] = None
         pending_gap = 0.0
         for e in tf.events:
@@ -162,28 +218,46 @@ def build_pseudoapp(
                     kind: Optional[str] = "sync"
                 else:
                     continue
+            elif e.layer is EventLayer.LIBCALL and e.name in _SYNC_LIBCALLS:
+                kind = "sync"
             else:
                 kind = _event_kind(e, layer) or (
                     _event_kind(e, EventLayer.SYSCALL) if events is tf.events else None
                 )
             if kind is None:
+                unreplayable[e.name] = unreplayable.get(e.name, 0) + 1
                 continue
+            path = e.path if kind == "sync" else fd_state.resolve(e)
+            if kind != "sync" and path is None:
+                # fd-addressed event whose open predates the capture (or a
+                # path-less metadata call): not scriptable, but counted.
+                unreplayable[e.name] = unreplayable.get(e.name, 0) + 1
+                continue
+            offset = fd_state.offset_for(e, kind)
             think = max(min_think_time, pending_gap)
             pending_gap = 0.0
             script.ops.append(
                 ReplayOp(
                     kind=kind,
                     think_time=think,
-                    path=e.path,
-                    offset=e.offset,
+                    path=path,
+                    offset=offset,
                     nbytes=e.nbytes,
                 )
             )
+            if kind == "open":
+                fd_state.opened(e)
+            elif kind == "close":
+                fd_state.closed(e)
         scripts[rank] = script
     if not scripts:
         raise ReplayError("bundle has no trace files to script from")
     return PseudoApp(
         scripts=scripts,
         source_framework=str(bundle.metadata.get("framework", "")),
-        metadata={"layer": layer.value, "per_event_overhead": per_event_overhead},
+        metadata={
+            "layer": layer.value,
+            "per_event_overhead": per_event_overhead,
+            "unreplayable": dict(sorted(unreplayable.items())),
+        },
     )

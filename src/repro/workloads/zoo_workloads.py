@@ -1,0 +1,366 @@
+"""The workload zoo's scenario generators (see :mod:`repro.zoo`).
+
+Four modern I/O shapes beyond the paper's single ``mpi_io_test``:
+
+* :func:`checkpoint_tiered` — checkpoint/restart through a burst-buffer
+  tier: write the checkpoint to node-local scratch, fsync, drain it to
+  the PFS, free the buffer, and read the last checkpoint back (restart);
+* :func:`ml_epoch` — one ML-training epoch: ranks shard a dataset onto
+  the PFS, then issue shuffled random-offset reads across *all* shards
+  (the cross-rank random-read storm data loaders produce);
+* :func:`log_append` — a log-structured service: append-heavy segment
+  writes with periodic fsync, plus compaction passes that read closed
+  segments, rewrite them compacted, and unlink the originals;
+* :func:`metadata_storm` — create/stat/unlink storms over a directory
+  tree, the no-payload regime where per-event tracing costs dominate.
+
+Design constraint shared by all four: **every I/O call is a plain
+process-level syscall with a deterministic offset** (``pread``/``pwrite``
+or positional ``write`` whose recorded offset is exact), and every MPI
+synchronization is a plain barrier.  That makes a traced zoo run fully
+compilable by :func:`repro.replay.pseudoapp.build_pseudoapp` — the
+capture→archive→replay round trip reproduces the op schedule exactly,
+which the fidelity report (and the PR's acceptance test) asserts.
+
+Each generator returns a :class:`ZooRankReport` (an attribute-bearing
+dataclass, so the harness's ``_total_payload`` sees the payload bytes)
+and takes ``(mpi, args)`` like every other registered workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Generator
+
+from repro.errors import InvalidArgument, SimOSError
+from repro.simfs.vfs import O_APPEND, O_CREAT, O_RDONLY, O_WRONLY
+from repro.simmpi.comm import MPIRank
+from repro.units import KiB
+
+__all__ = [
+    "ZooRankReport",
+    "checkpoint_tiered",
+    "ml_epoch",
+    "log_append",
+    "metadata_storm",
+]
+
+
+@dataclass(frozen=True)
+class ZooRankReport:
+    """Per-rank zoo report: the payload and op-mix numbers the tests pin."""
+
+    rank: int
+    bytes_written: int
+    bytes_read: int
+    n_writes: int
+    n_reads: int
+    n_metadata_ops: int
+
+
+def _mkdir_p(proc, path: str) -> Generator[Any, Any, int]:
+    """Create every missing component of ``path``; returns mkdirs issued.
+
+    Shared directories race across ranks by design — the first rank (in
+    deterministic simulator order) wins, later ranks' EEXIST is absorbed.
+    Every attempt still dispatches a real ``SYS_mkdir``, so the schedule
+    a replay compiles from sees exactly what the application issued.
+    """
+    issued = 0
+    parts = path.strip("/").split("/")
+    for depth in range(1, len(parts) + 1):
+        prefix = "/" + "/".join(parts[:depth])
+        try:
+            yield from proc.mkdir(prefix)
+        except SimOSError:
+            pass
+        issued += 1
+    return issued
+
+
+def checkpoint_tiered(
+    mpi: MPIRank, args: Dict[str, Any]
+) -> Generator[Any, Any, ZooRankReport]:
+    """Checkpoint/restart with burst-buffer tiering.
+
+    Per phase: compute, barrier, write the rank's checkpoint to the
+    node-local burst buffer (``/tmp``), fsync it down, then *drain* —
+    read the buffered checkpoint back and write it to the PFS — and
+    unlink the buffer copy.  After the last phase every rank stats and
+    re-reads its final PFS checkpoint (the restart path).
+
+    args: ``bb_dir``, ``pfs_dir``, ``phases``, ``block_size``,
+    ``blocks_per_phase``, ``compute_time``, ``restart``.
+    """
+    bb_dir = str(args.get("bb_dir", "/tmp/zoo/bb"))
+    pfs_dir = str(args.get("pfs_dir", "/pfs/zoo/ckpt"))
+    phases = int(args.get("phases", 3))
+    block_size = int(args.get("block_size", 64 * KiB))
+    blocks = int(args.get("blocks_per_phase", 4))
+    compute_time = float(args.get("compute_time", 0.02))
+    restart = bool(args.get("restart", True))
+    if phases <= 0 or blocks <= 0 or block_size <= 0:
+        raise InvalidArgument("phases, blocks_per_phase and block_size must be positive")
+    proc = mpi.proc
+
+    meta = yield from _mkdir_p(proc, bb_dir)
+    meta += yield from _mkdir_p(proc, pfs_dir)
+    written = read = n_writes = n_reads = 0
+
+    for phase in range(phases):
+        yield from proc._charge(compute_time)
+        yield from mpi.barrier()
+
+        # Burst-buffer absorb: the checkpoint lands on node-local scratch.
+        bb_path = "%s/ckpt.%d.%d" % (bb_dir, phase, mpi.rank)
+        fd = yield from proc.open(bb_path, O_WRONLY | O_CREAT)
+        for b in range(blocks):
+            n = yield from proc.pwrite(fd, block_size, b * block_size)
+            written += n
+            n_writes += 1
+        yield from proc.fsync(fd)
+        yield from proc.close(fd)
+        meta += 3  # open + fsync + close
+
+        # Drain: stream the buffered checkpoint down to the PFS tier.
+        pfs_path = "%s/ckpt.%d.%d" % (pfs_dir, phase, mpi.rank)
+        src = yield from proc.open(bb_path, O_RDONLY)
+        dst = yield from proc.open(pfs_path, O_WRONLY | O_CREAT)
+        for b in range(blocks):
+            n = yield from proc.pread(src, block_size, b * block_size)
+            read += n
+            n_reads += 1
+            n = yield from proc.pwrite(dst, block_size, b * block_size)
+            written += n
+            n_writes += 1
+        yield from proc.fsync(dst)
+        yield from proc.close(dst)
+        yield from proc.close(src)
+        yield from proc.unlink(bb_path)  # free the burst buffer
+        meta += 6  # 2 opens + fsync + 2 closes + unlink
+        yield from mpi.barrier()
+
+    if restart:
+        last = "%s/ckpt.%d.%d" % (pfs_dir, phases - 1, mpi.rank)
+        yield from proc.stat(last)
+        fd = yield from proc.open(last, O_RDONLY)
+        for b in range(blocks):
+            n = yield from proc.pread(fd, block_size, b * block_size)
+            read += n
+            n_reads += 1
+        yield from proc.close(fd)
+        meta += 4  # stat + open + close
+        yield from mpi.barrier()
+
+    return ZooRankReport(
+        rank=mpi.rank,
+        bytes_written=written,
+        bytes_read=read,
+        n_writes=n_writes,
+        n_reads=n_reads,
+        n_metadata_ops=meta,
+    )
+
+
+def ml_epoch(mpi: MPIRank, args: Dict[str, Any]) -> Generator[Any, Any, ZooRankReport]:
+    """One ML-training epoch: sharded dataset write, then shuffled reads.
+
+    Every rank writes ``shards_per_rank`` dataset shards sequentially,
+    barriers, then performs ``samples_per_rank`` random ``pread`` calls
+    of ``sample_size`` bytes at shuffled (shard, offset) positions drawn
+    across the *whole* dataset — the cross-rank random-read mix a
+    shuffling data loader produces.  The shuffle is seeded per rank from
+    ``shuffle_seed``, so the access sequence is deterministic.
+
+    args: ``base``, ``shards_per_rank``, ``shard_blocks``, ``block_size``,
+    ``samples_per_rank``, ``sample_size``, ``shuffle_seed``.
+    """
+    base = str(args.get("base", "/pfs/zoo/mldata"))
+    shards_per_rank = int(args.get("shards_per_rank", 2))
+    shard_blocks = int(args.get("shard_blocks", 4))
+    block_size = int(args.get("block_size", 64 * KiB))
+    samples = int(args.get("samples_per_rank", 8))
+    sample_size = int(args.get("sample_size", 32 * KiB))
+    shuffle_seed = int(args.get("shuffle_seed", 0))
+    if shards_per_rank <= 0 or shard_blocks <= 0 or block_size <= 0:
+        raise InvalidArgument("shard geometry must be positive")
+    if sample_size <= 0 or sample_size > shard_blocks * block_size:
+        raise InvalidArgument("sample_size must fit inside one shard")
+    proc = mpi.proc
+    shard_size = shard_blocks * block_size
+
+    meta = yield from _mkdir_p(proc, base)
+    written = read = n_writes = n_reads = 0
+
+    # Ingest: this rank's shards, written sequentially.
+    for s in range(shards_per_rank):
+        path = "%s/shard.%d.%d" % (base, mpi.rank, s)
+        fd = yield from proc.open(path, O_WRONLY | O_CREAT)
+        for b in range(shard_blocks):
+            n = yield from proc.pwrite(fd, block_size, b * block_size)
+            written += n
+            n_writes += 1
+        yield from proc.close(fd)
+        meta += 2
+    yield from mpi.barrier()  # the whole dataset exists before the epoch
+
+    # Epoch: shuffled random reads over every rank's shards.
+    rng = random.Random(shuffle_seed * 100003 + mpi.rank)
+    universe = [
+        (owner, s) for owner in range(mpi.size) for s in range(shards_per_rank)
+    ]
+    fds: Dict[str, int] = {}
+    for _ in range(samples):
+        owner, s = universe[rng.randrange(len(universe))]
+        path = "%s/shard.%d.%d" % (base, owner, s)
+        fd = fds.get(path)
+        if fd is None:
+            fd = fds[path] = yield from proc.open(path, O_RDONLY)
+            meta += 1
+        offset = rng.randrange(0, shard_size - sample_size + 1)
+        n = yield from proc.pread(fd, sample_size, offset)
+        read += n
+        n_reads += 1
+    for path in sorted(fds):
+        yield from proc.close(fds[path])
+        meta += 1
+    yield from mpi.barrier()
+
+    return ZooRankReport(
+        rank=mpi.rank,
+        bytes_written=written,
+        bytes_read=read,
+        n_writes=n_writes,
+        n_reads=n_reads,
+        n_metadata_ops=meta,
+    )
+
+
+def log_append(mpi: MPIRank, args: Dict[str, Any]) -> Generator[Any, Any, ZooRankReport]:
+    """Log-structured append-heavy service with compaction.
+
+    Each rank owns a log directory and fills ``segments`` segment files
+    with ``appends_per_segment`` O_APPEND record writes (fsync every
+    ``fsync_every`` records — the commit point).  After every
+    ``compact_every`` closed segments a compaction pass stats and reads
+    them fully, rewrites the live data into one compacted segment, and
+    unlinks the originals.
+
+    args: ``base``, ``segments``, ``appends_per_segment``, ``record_size``,
+    ``fsync_every``, ``compact_every``.
+    """
+    base = str(args.get("base", "/pfs/zoo/log"))
+    segments = int(args.get("segments", 4))
+    appends = int(args.get("appends_per_segment", 8))
+    record_size = int(args.get("record_size", 16 * KiB))
+    fsync_every = int(args.get("fsync_every", 4))
+    compact_every = int(args.get("compact_every", 2))
+    if segments <= 0 or appends <= 0 or record_size <= 0:
+        raise InvalidArgument("segments, appends_per_segment, record_size must be positive")
+    if fsync_every <= 0 or compact_every <= 0:
+        raise InvalidArgument("fsync_every and compact_every must be positive")
+    proc = mpi.proc
+    mydir = "%s/rank%d" % (base, mpi.rank)
+
+    meta = yield from _mkdir_p(proc, mydir)
+    written = read = n_writes = n_reads = 0
+    seg_size = appends * record_size
+    closed: list = []
+    n_compactions = 0
+
+    for seg in range(segments):
+        path = "%s/seg.%06d" % (mydir, seg)
+        fd = yield from proc.open(path, O_WRONLY | O_CREAT | O_APPEND)
+        for a in range(appends):
+            n = yield from proc.write(fd, record_size)
+            written += n
+            n_writes += 1
+            if (a + 1) % fsync_every == 0:
+                yield from proc.fsync(fd)
+                meta += 1
+        yield from proc.close(fd)
+        meta += 2
+        closed.append(path)
+
+        if len(closed) >= compact_every:
+            # Compaction: read the closed segments, rewrite live data.
+            compacted = "%s/compact.%06d" % (mydir, n_compactions)
+            out = yield from proc.open(compacted, O_WRONLY | O_CREAT)
+            out_off = 0
+            for victim in closed:
+                yield from proc.stat(victim)
+                src = yield from proc.open(victim, O_RDONLY)
+                for a in range(appends):
+                    n = yield from proc.pread(src, record_size, a * record_size)
+                    read += n
+                    n_reads += 1
+                yield from proc.close(src)
+                meta += 3
+                # Half the records are live after compaction.
+                live = seg_size // 2
+                n = yield from proc.pwrite(out, live, out_off)
+                written += n
+                n_writes += 1
+                out_off += live
+            yield from proc.fsync(out)
+            yield from proc.close(out)
+            meta += 3
+            for victim in closed:
+                yield from proc.unlink(victim)
+                meta += 1
+            closed = []
+            n_compactions += 1
+    yield from mpi.barrier()
+
+    return ZooRankReport(
+        rank=mpi.rank,
+        bytes_written=written,
+        bytes_read=read,
+        n_writes=n_writes,
+        n_reads=n_reads,
+        n_metadata_ops=meta,
+    )
+
+
+def metadata_storm(
+    mpi: MPIRank, args: Dict[str, Any]
+) -> Generator[Any, Any, ZooRankReport]:
+    """Create/stat/unlink storm over a directory tree: no data payload.
+
+    Each rank spreads ``n_files`` zero-byte files over ``subdirs``
+    per-rank subdirectories: create+close, stat, then unlink (keeping
+    every ``keep_every``-th file so the tree is not empty afterwards).
+
+    args: ``base``, ``n_files``, ``subdirs``, ``keep_every``.
+    """
+    base = str(args.get("base", "/pfs/zoo/md"))
+    n_files = int(args.get("n_files", 16))
+    subdirs = int(args.get("subdirs", 2))
+    keep_every = int(args.get("keep_every", 4))
+    if n_files <= 0 or subdirs <= 0 or keep_every <= 0:
+        raise InvalidArgument("n_files, subdirs and keep_every must be positive")
+    proc = mpi.proc
+
+    meta = yield from _mkdir_p(proc, base)
+    for d in range(subdirs):
+        meta += yield from _mkdir_p(proc, "%s/r%d.d%d" % (base, mpi.rank, d))
+    for i in range(n_files):
+        path = "%s/r%d.d%d/f%04d" % (base, mpi.rank, i % subdirs, i)
+        fd = yield from proc.open(path, O_WRONLY | O_CREAT)
+        yield from proc.close(fd)
+        yield from proc.stat(path)
+        meta += 3
+        if (i + 1) % keep_every != 0:
+            yield from proc.unlink(path)
+            meta += 1
+    yield from mpi.barrier()
+
+    return ZooRankReport(
+        rank=mpi.rank,
+        bytes_written=0,
+        bytes_read=0,
+        n_writes=0,
+        n_reads=0,
+        n_metadata_ops=meta,
+    )

@@ -124,3 +124,29 @@ class TestSweepIntegration:
         assert all(p.cached for p in warm.points)
         for a, b in zip(cold.points, warm.points):
             assert a.untraced == b.untraced and a.traced == b.traced
+
+    def test_archived_hit_against_fresh_store_reexecutes(self, tmp_path):
+        # The cache key excludes the store *path* (run ids are
+        # content-derived), so a hit can carry a run id ingested into a
+        # different archive.  The sweep must not serve a dangling run id:
+        # it re-executes so the bundle lands in the new store too.
+        from dataclasses import replace
+
+        from repro.store.bank import TraceBank
+
+        cache = RunCache(tmp_path / "cache")
+        spec_a = replace(_spec(), store=str(tmp_path / "bank-a"))
+        first = run_sweep([spec_a], cache=cache)
+        run_id = first.points[0].store_run_id
+        assert run_id is not None
+
+        spec_b = replace(spec_a, store=str(tmp_path / "bank-b"))
+        second = run_sweep([spec_b], cache=cache)
+        assert second.report.cache_hits == 0  # treated as a miss
+        assert second.points[0].store_run_id == run_id  # content-derived
+        assert TraceBank(tmp_path / "bank-b").manifest(run_id)
+
+        # same store, warm cache: still a hit, no re-execution
+        third = run_sweep([spec_b], cache=cache)
+        assert third.report.cache_hits == 1
+        assert third.points[0].cached
