@@ -832,6 +832,89 @@ def _cmd_obs_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_get_json(base_url: str, path: str):
+    import json as _json
+
+    from repro.errors import ServiceError
+
+    status, _headers, payload = _http_request(base_url.rstrip("/") + path)
+    if status != 200:
+        raise ServiceError(
+            "GET %s returned %d: %s"
+            % (path, status, payload.decode("utf-8", "replace").strip())
+        )
+    return _json.loads(payload.decode("utf-8"))
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.reqtrace import render_top
+
+    iterations = 1 if args.once else args.iterations
+    prev_counters = None
+    i = 0
+    while iterations <= 0 or i < iterations:
+        if i:
+            _time.sleep(args.interval)
+        stats = _obs_get_json(args.url, "/v1/stats")
+        metrics = _obs_get_json(args.url, "/v1/metrics")
+        slowest = _obs_get_json(args.url, "/v1/traces/slowest").get("slowest", [])
+        frame = render_top(
+            stats, metrics, slowest,
+            prev_counters=prev_counters,
+            interval=args.interval if prev_counters is not None else None,
+        )
+        if i:
+            print()
+        print(frame, end="")
+        prev_counters = metrics.get("counters") or {}
+        i += 1
+    return 0
+
+
+def _cmd_obs_reqtrace(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import canonical_json
+    from repro.obs.perfetto import validate_chrome_trace
+    from repro.obs.reqtrace import (
+        render_trace,
+        trace_flamegraph_lines,
+        trace_to_chrome,
+    )
+
+    trace_id = args.trace_id
+    if trace_id == "slowest":
+        target = "/v1/traces/slowest"
+        if args.route:
+            target += "?route=%s" % args.route
+        listing = _obs_get_json(args.url, target).get("slowest", [])
+        if not listing:
+            print("error: the server has no retained traces yet",
+                  file=sys.stderr)
+            return 1
+        trace_id = listing[0]["trace_id"]
+    report = _obs_get_json(args.url, "/v1/traces/%s" % trace_id)
+    if args.json:
+        print(canonical_json(report))
+    else:
+        print(render_trace(report), end="")
+    if args.flame:
+        lines = trace_flamegraph_lines(report)
+        Path(args.flame).write_text(
+            "\n".join(lines) + ("\n" if lines else ""), encoding="utf-8"
+        )
+        print("wrote %s (%d stack(s))" % (args.flame, len(lines)))
+    if args.perfetto:
+        chrome = trace_to_chrome(report)
+        validate_chrome_trace(chrome)
+        Path(args.perfetto).write_text(
+            canonical_json(chrome) + "\n", encoding="utf-8"
+        )
+        print("wrote %s (validated, %d event(s))"
+              % (args.perfetto, len(chrome["traceEvents"])))
+    return 0
+
+
 # -- store commands ----------------------------------------------------------
 
 
@@ -1042,6 +1125,9 @@ def _cmd_service_serve(args: argparse.Namespace) -> int:
         max_body_bytes=args.max_body_bytes,
         query_jobs=args.jobs,
         commit_workers=args.workers,
+        access_log=args.access_log,
+        trace_ring=args.trace_ring,
+        slowest_per_route=args.slowest_per_route,
     )
     return 0
 
@@ -1148,6 +1234,22 @@ def _cmd_service_loadgen(args: argparse.Namespace) -> int:
     print(canonical_json(report))
     if args.out:
         print("wrote %s" % args.out)
+    if args.baseline:
+        from repro.obs.baseline import append_history, make_record
+
+        record = make_record(
+            [
+                {
+                    "figure": "service",
+                    "block_size": None,
+                    "service_req_per_sec": report["req_per_sec"],
+                    "service_p99_ms": report["latency_p99_ms"],
+                }
+            ],
+            label=args.baseline_label,
+        )
+        idx = append_history(args.baseline, record)
+        print("appended baseline record #%d to %s" % (idx, args.baseline))
     return 1 if result.errors else 0
 
 
@@ -1440,6 +1542,38 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also write the canonical-JSON check report here")
     sp.set_defaults(fn=_cmd_obs_check)
 
+    sp = obs_sub.add_parser(
+        "top", help="live operational dashboard over a running service"
+    )
+    sp.add_argument("--url", default="http://127.0.0.1:8080", metavar="URL",
+                    help="service base URL (default http://127.0.0.1:8080)")
+    sp.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                    help="seconds between polls (default 2)")
+    sp.add_argument("--iterations", type=int, default=0, metavar="N",
+                    help="stop after N frames (default 0 = run until ^C)")
+    sp.add_argument("--once", action="store_true",
+                    help="print a single frame and exit")
+    sp.set_defaults(fn=_cmd_obs_top)
+
+    sp = obs_sub.add_parser(
+        "reqtrace",
+        help="dump/export one service request trace (or the slowest)",
+    )
+    sp.add_argument("trace_id", metavar="TRACE_ID",
+                    help="32-hex trace id, or the literal 'slowest'")
+    sp.add_argument("--url", default="http://127.0.0.1:8080", metavar="URL",
+                    help="service base URL (default http://127.0.0.1:8080)")
+    sp.add_argument("--route", default=None, metavar="ROUTE",
+                    help="with 'slowest': restrict to one route "
+                    "(ingest/query/runs/dfg/...)")
+    sp.add_argument("--json", action="store_true",
+                    help="print the canonical-JSON trace report")
+    sp.add_argument("--flame", default=None, metavar="PATH",
+                    help="write collapsed-stack flamegraph lines here")
+    sp.add_argument("--perfetto", default=None, metavar="PATH",
+                    help="write the validated Chrome/Perfetto trace here")
+    sp.set_defaults(fn=_cmd_obs_reqtrace)
+
     p = sub.add_parser(
         "summarize", help="call summary of a trace file or trace-store dir"
     )
@@ -1583,6 +1717,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="parallel shard scans per query (default 1)")
     sp.add_argument("--workers", type=int, default=2, metavar="N",
                     help="concurrent ingest commit workers (default 2)")
+    sp.add_argument("--access-log", default=None, metavar="PATH",
+                    help="write one canonical JSONL access-log line per "
+                    "request here")
+    sp.add_argument("--trace-ring", type=int, default=512, metavar="N",
+                    help="finished request traces kept in the in-memory "
+                    "ring (default 512)")
+    sp.add_argument("--slowest-per-route", type=int, default=8, metavar="N",
+                    help="slowest traces retained per route past ring "
+                    "eviction (default 8)")
     sp.set_defaults(fn=_cmd_service_serve)
 
     sp = service_sub.add_parser(
@@ -1634,6 +1777,11 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--out", default=None, metavar="PATH",
                     help="write the canonical-JSON bench report here "
                     "(e.g. BENCH_service.json)")
+    sp.add_argument("--baseline", default=None, metavar="PATH",
+                    help="append service_req_per_sec + service_p99_ms to "
+                    "this BENCH_history.jsonl for 'repro obs check'")
+    sp.add_argument("--baseline-label", default=None, metavar="TEXT",
+                    help="free-form label stored with the baseline record")
     sp.set_defaults(fn=_cmd_service_loadgen)
 
     p = sub.add_parser(

@@ -29,7 +29,14 @@ robustness work has data instead of guesses:
 * :mod:`repro.obs.diagnose` — archive-scale anomaly diagnosis
   (``repro obs diagnose``): fingerprint every TraceBank run, cluster by
   DFG-shape distance, flag outliers with median/MAD scoring, auto-slice
-  each one.
+  each one;
+* :mod:`repro.obs.reqtrace` — end-to-end *wall-clock* request tracing
+  for the TraceBank service: traceparent-style context propagation,
+  the bounded span ring with slowest-per-route exemplar retention, and
+  Perfetto/flamegraph export behind ``repro obs reqtrace``/``obs top``;
+* :mod:`repro.obs.prom` — Prometheus text exposition (and a strict
+  parser) over a metrics snapshot, serving ``GET /v1/metrics?format=
+  prom``.
 
 Telemetry is deterministic: it is stamped exclusively with simulated time
 and recorded in dispatch order, so the same seed produces byte-identical
@@ -52,7 +59,9 @@ from repro.obs import (
     diagnose,
     metrics,
     perfetto,
+    prom,
     report,
+    reqtrace,
     slice,
     spans,
     tracepoints,
@@ -64,6 +73,13 @@ from repro.obs.diagnose import diagnose_archive, render_diagnose
 from repro.obs.slice import causal_slice, render_slice, slice_from_store
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.perfetto import to_chrome_trace, validate_chrome_trace
+from repro.obs.prom import parse_prometheus, render_prometheus
+from repro.obs.reqtrace import (
+    RequestTrace,
+    RequestTraceLog,
+    trace_flamegraph_lines,
+    trace_to_chrome,
+)
 from repro.obs.report import render_payload_summary, summarize_payload
 from repro.obs.spans import SpanRecorder
 from repro.obs.tracepoints import TelemetryCollector, TelemetryConfig, session
@@ -79,6 +95,14 @@ __all__ = [
     "baseline",
     "slice",
     "diagnose",
+    "reqtrace",
+    "prom",
+    "RequestTrace",
+    "RequestTraceLog",
+    "trace_flamegraph_lines",
+    "trace_to_chrome",
+    "parse_prometheus",
+    "render_prometheus",
     "compare_payloads",
     "render_diff",
     "critical_path",

@@ -87,6 +87,11 @@ METRIC_SPECS: Dict[str, Dict[str, float]] = {
     # per second across the loadgen's ingest/query mix.  Host-clock rate
     # over sockets — more req/s is better, wide noise floor.
     "service_req_per_sec": {"direction": -1, "rel_floor": 0.30, "abs_floor": 1.0},
+    # Service tail latency (BENCH_service.json): client-observed p99 in
+    # milliseconds across the loadgen mix.  Host-clock time over sockets
+    # — larger is worse, wide noise floor, and sub-millisecond jitter is
+    # never a signal.
+    "service_p99_ms": {"direction": 1, "rel_floor": 0.30, "abs_floor": 1.0},
     # Workload-zoo replay throughput (BENCH_zoo.json): simulated kernel
     # events the replay testbed dispatched per host second while
     # re-executing an archived scenario's op schedule.  Host-clock rate —

@@ -25,7 +25,12 @@ __all__ = [
     "Timeline",
     "MetricsRegistry",
     "canonical_json",
+    "quantile_from_buckets",
+    "quantile_from_snapshot",
 ]
+
+#: Bucket key for zero/negative observations (sorts below any exponent).
+ZERO_BUCKET = -(10**6)
 
 
 def canonical_json(obj: Any) -> str:
@@ -87,7 +92,7 @@ class Histogram:
         else:
             e = None
         if e is None:
-            self.buckets[-(10**6)] = self.buckets.get(-(10**6), 0) + 1
+            self.buckets[ZERO_BUCKET] = self.buckets.get(ZERO_BUCKET, 0) + 1
         else:
             self.buckets[e] = self.buckets.get(e, 0) + 1
 
@@ -96,13 +101,64 @@ class Histogram:
         """Arithmetic mean of all observations (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the log2 buckets.
+
+        Nearest-rank walk over the buckets in ascending value order, with
+        linear interpolation inside the winning bucket ``[2^e, 2^(e+1))``;
+        observations in the zero bucket contribute 0.  ``quantile(1.0)``
+        returns the top bucket's upper bound — the tightest value the
+        bucketing can still prove is an upper bound.
+        """
+        return quantile_from_buckets(self.buckets, self.count, q)
+
     def snapshot(self) -> Dict[str, Any]:
         """Plain-JSON rendering: count, sum, and string-keyed buckets."""
         buckets = {
-            ("zero" if e == -(10**6) else str(e)): n
+            ("zero" if e == ZERO_BUCKET else str(e)): n
             for e, n in self.buckets.items()
         }
         return {"count": self.count, "sum": self.total, "buckets": buckets}
+
+
+def quantile_from_buckets(
+    buckets: Dict[int, int], count: int, q: float
+) -> float:
+    """The shared log2-bucket quantile estimator (see :meth:`Histogram.quantile`).
+
+    ``buckets`` maps exponents to counts (:data:`ZERO_BUCKET` for the
+    zero bucket); ``count`` is the total observation count.
+    """
+    if count <= 0:
+        return 0.0
+    q = min(1.0, max(0.0, q))
+    rank = max(1, math.ceil(q * count))
+    cum = 0
+    for e in sorted(buckets):
+        n = buckets[e]
+        if n <= 0:
+            continue
+        cum += n
+        if cum >= rank:
+            if e == ZERO_BUCKET:
+                return 0.0
+            lo, hi = 2.0 ** e, 2.0 ** (e + 1)
+            frac = (rank - (cum - n)) / n
+            return lo + frac * (hi - lo)
+    return 0.0  # pragma: no cover - cum always reaches count >= rank
+
+
+def quantile_from_snapshot(snapshot: Dict[str, Any], q: float) -> float:
+    """:func:`quantile_from_buckets` over a histogram's plain-JSON snapshot
+    (the ``{"count", "sum", "buckets"}`` dict :meth:`Histogram.snapshot`
+    renders), so reports can quote quantiles without the live instrument.
+    """
+    raw = snapshot.get("buckets") or {}
+    buckets = {
+        (ZERO_BUCKET if key == "zero" else int(key)): int(n)
+        for key, n in raw.items()
+    }
+    return quantile_from_buckets(buckets, int(snapshot.get("count", 0)), q)
 
 
 class Timeline:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from repro.errors import TelemetryError
+from repro.obs.metrics import quantile_from_snapshot
 
 __all__ = ["summarize_payload", "render_payload_summary"]
 
@@ -121,8 +122,13 @@ def render_payload_summary(payload: Dict[str, Any], label: str = "") -> str:
             count = h.get("count", 0)
             mean = (h.get("sum", 0.0) / count) if count else 0.0
             lines.append(
-                "  %-42s n=%-8d mean=%.3g  buckets=%d"
-                % (name, count, mean, len(h.get("buckets", {})))
+                "  %-42s n=%-8d mean=%.3g  p50=%.3g  p99=%.3g  buckets=%d"
+                % (
+                    name, count, mean,
+                    quantile_from_snapshot(h, 0.50),
+                    quantile_from_snapshot(h, 0.99),
+                    len(h.get("buckets", {})),
+                )
             )
     if s["utilizations"]:
         lines.append("mean utilization (time-weighted):")

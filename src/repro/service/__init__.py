@@ -14,7 +14,15 @@ library code; this package turns them into a long-running service:
 * :mod:`repro.service.loadgen` — the deterministic load-test harness
   behind ``BENCH_service.json``.
 
-See DESIGN.md §16 for the architecture and the backpressure contract.
+Every request is traced end to end (client → http → wal → commit →
+bank) via :mod:`repro.obs.reqtrace`: the server adopts the client's
+``traceparent`` ids, keeps the N slowest traces per route inspectable
+over ``GET /v1/traces/slowest``, exposes Prometheus text at
+``GET /v1/metrics?format=prom``, and can write a canonical JSONL access
+log (one line per request).
+
+See DESIGN.md §16 for the architecture and the backpressure contract,
+and §18 for the observability surface.
 """
 
 from repro.service.api import Request, Response, ServiceApp, query_from_params

@@ -34,7 +34,9 @@ written only after the body fully arrived and decoded.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import re
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -53,6 +55,13 @@ from repro.errors import (
     TraceError,
 )
 from repro.obs.metrics import MetricsRegistry, canonical_json
+from repro.obs.prom import render_prometheus
+from repro.obs.reqtrace import (
+    RequestTrace,
+    RequestTraceLog,
+    make_context,
+    parse_traceparent,
+)
 from repro.obs.tracepoints import STATE
 from repro.service.ingestq import IngestQueue, WalEntry, decode_upload
 from repro.service.tenants import TenantRegistry
@@ -74,6 +83,14 @@ class Request:
     params: Dict[str, List[str]] = field(default_factory=dict)
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    #: Server-uptime seconds when the request head arrived, stamped by
+    #: the transport; ``handle()`` falls back to its own entry time.
+    t_recv: Optional[float] = None
+    #: The live :class:`~repro.obs.reqtrace.RequestTrace`, set by
+    #: ``handle()``; route handlers add their spans to it.
+    trace: Optional[RequestTrace] = None
+    #: Span id route handlers parent their spans under.
+    handler_span_id: Optional[str] = None
 
     def param(self, name: str, default: Optional[str] = None) -> Optional[str]:
         """The first value of one query parameter, or ``default``."""
@@ -187,6 +204,9 @@ class ServiceApp:
         query_jobs: int = 1,
         commit_workers: int = 2,
         codec: str = "v1",
+        access_log: Optional[Union[str, Path]] = None,
+        trace_ring: int = 512,
+        slowest_per_route: int = 8,
     ):
         self.registry = TenantRegistry(store_root)
         self.queue = IngestQueue(self.registry.root, capacity=queue_capacity)
@@ -195,6 +215,22 @@ class ServiceApp:
         self.commit_workers = int(commit_workers)
         self.codec = codec
         self.metrics = MetricsRegistry()
+        self.traces = RequestTraceLog(
+            ring_size=trace_ring, slowest_per_route=slowest_per_route
+        )
+        # Wall clock: spans and timelines run on monotonic uptime seconds
+        # (perf_counter offset); the epoch base is only for access-log
+        # timestamps and the fallback trace-id nonce.
+        self._started_epoch = time.time()
+        self._started_perf = time.perf_counter()
+        self._trace_seq = itertools.count()
+        self.access_log_path = Path(access_log) if access_log else None
+        self._access_fh = None
+        self._access_lock = threading.Lock()
+        self.access_lines = 0
+        if self.access_log_path is not None:
+            self.access_log_path.parent.mkdir(parents=True, exist_ok=True)
+            self._access_fh = open(self.access_log_path, "a", encoding="utf-8")
         # Decode/WAL/commit/query all share this pool; keep headroom so
         # accept-path hops cannot starve the commit workers.
         self.executor = ThreadPoolExecutor(
@@ -236,6 +272,13 @@ class ServiceApp:
                 pass
         self._workers = []
         self.executor.shutdown(wait=True)
+        if self._access_fh is not None:
+            self._access_fh.close()
+            self._access_fh = None
+
+    def uptime(self) -> float:
+        """Wall-clock seconds since this app was constructed (monotonic)."""
+        return time.perf_counter() - self._started_perf
 
     # -- internals -----------------------------------------------------------
 
@@ -250,10 +293,18 @@ class ServiceApp:
         loop = asyncio.get_running_loop()
         while True:
             entry: WalEntry = await self.queue.queue.get()
+            t_start = self.uptime()
+            if entry.trace_id is not None and entry.enqueue_ts is not None:
+                self.traces.attach(
+                    entry.trace_id, "wal", "wal.queue.wait",
+                    entry.enqueue_ts, t_start - entry.enqueue_ts,
+                    parent_span_id=entry.parent_span_id,
+                )
             try:
                 if self.commit_gate is not None:
                     await self.commit_gate.wait()
                 bank = self._bank(entry.tenant)
+                entry.clock = self.uptime
                 result = await loop.run_in_executor(
                     self.executor, self.queue.commit, entry, bank
                 )
@@ -278,6 +329,7 @@ class ServiceApp:
                     # file stays on disk for the next startup's
                     # recovery to re-commit.
                     self.metrics.inc("service.commit.deferred")
+                self._commit_spans(entry, t_start, ok=False)
                 if entry.future is not None and not entry.future.done():
                     entry.future.set_exception(exc)
             else:
@@ -287,36 +339,141 @@ class ServiceApp:
                 m.inc("service.commit.new_segments", result.new_segments)
                 m.inc("service.commit.deduped_segments", result.deduped_segments)
                 m.inc("service.commit.events", result.events)
+                self._commit_spans(entry, t_start, ok=True, run_id=result.run_id)
                 if entry.future is not None and not entry.future.done():
                     entry.future.set_result(result)
             self.queue.release()
+            self.metrics.sample(
+                "service.queue_depth", self.uptime(), self.queue.depth
+            )
             self.queue.queue.task_done()
 
-    def _record(self, route: str, status: int, seconds: float) -> None:
+    def _commit_spans(
+        self, entry: WalEntry, t_start: float, ok: bool,
+        run_id: Optional[str] = None,
+    ) -> None:
+        """Attach the async commit/bank spans to the originating trace.
+
+        A no-op once the trace has been evicted from the ring — the span
+        chain is complete for every trace the service still serves.
+        """
+        if entry.trace_id is None:
+            return
+        commit_sid = self.traces.attach(
+            entry.trace_id, "commit", "commit", t_start,
+            self.uptime() - t_start,
+            parent_span_id=entry.parent_span_id,
+            args={"entry_id": entry.entry_id, "ok": ok},
+        )
+        if (commit_sid is not None and entry.bank_ts is not None
+                and entry.bank_dur is not None):
+            self.traces.attach(
+                entry.trace_id, "bank", "bank.ingest",
+                entry.bank_ts, entry.bank_dur,
+                parent_span_id=commit_sid,
+                args={"run_id": run_id} if run_id else None,
+            )
+
+    def _record(self, route: str, tenant: Optional[str], status: int,
+                seconds: float) -> None:
         m = self.metrics
         m.inc("service.requests")
         m.inc("service.route.%s" % route)
         m.inc("service.status.%d" % status)
         m.observe("service.request_seconds", seconds)
+        m.observe("service.route_seconds{route=%s}" % route, seconds)
+        m.observe(
+            "service.request_seconds{route=%s,status=%d}" % (route, status),
+            seconds,
+        )
+        if tenant:
+            m.observe("service.tenant_seconds{tenant=%s}" % tenant, seconds)
         col = STATE.collector
         if col is not None:
             col.service_request(route, status, seconds)
 
+    def _access(self, request: Request, response: Response,
+                rt: RequestTrace) -> None:
+        """Write one canonical JSONL access-log line (field order stable).
+
+        ``canonical_json`` sorts keys, so two runs of the same plan emit
+        byte-identical field ordering — only the values differ.
+        """
+        if self._access_fh is None:
+            return
+        line = canonical_json(
+            {
+                "bytes_in": len(request.body),
+                "bytes_out": len(response.body),
+                "method": request.method,
+                "path": request.path,
+                "queue_depth": rt.queue_depth,
+                "route": rt.route,
+                "status": rt.status,
+                "tenant": rt.tenant,
+                "trace_id": rt.trace_id,
+                "ts": round(self._started_epoch + self.uptime(), 6),
+                "wall_us": rt.wall_us,
+            }
+        )
+        with self._access_lock:
+            self._access_fh.write(line + "\n")
+            self._access_fh.flush()
+            self.access_lines += 1
+
     # -- dispatch ------------------------------------------------------------
 
     async def handle(self, request: Request) -> Response:
-        """Route one request; never raises (errors become typed JSON)."""
-        t0 = time.perf_counter()
+        """Route one request; never raises (errors become typed JSON).
+
+        Every request gets a trace: the client's ``traceparent`` ids when
+        it sent one (the client's span becomes the chain root, so client
+        and server spans join by id alone), or fresh server-minted ids
+        when it did not.  The finished trace lands in the span ring, one
+        access-log line is written, and the per-route/status/tenant
+        latency instruments are fed — error paths included.
+        """
+        t0 = self.uptime()
+        t_recv = request.t_recv if request.t_recv is not None else t0
+        ctx = parse_traceparent(request.headers.get("traceparent"))
+        if ctx is None:
+            # No (or malformed) client context: the trail starts here.
+            ctx = make_context(
+                "repro-service", self._started_epoch, next(self._trace_seq)
+            )
+        rt = RequestTrace(ctx.trace_id, ctx.span_id)
+        rt.queue_depth = self.queue.depth
+        request.trace = rt
+        # Durations are patched in after dispatch; the ids must exist now
+        # so handlers can parent their spans under the handler span.
+        http_sid = rt.add("http", "http.request", t_recv, 0.0)
+        request.handler_span_id = rt.add(
+            "http", "handler", t0, 0.0, parent_span_id=http_sid
+        )
         route = "other"
         try:
             route, response = await self._dispatch(request)
         except Exception as exc:  # the transport must never see a raise
+            # A raising handler already stamped the matched route on the
+            # trace (so a 429'd ingest is still an "ingest", not "other").
+            route = rt.route
             status = _status_for(exc)
             headers = {}
             if isinstance(exc, IngestQueueFull):
                 headers["Retry-After"] = "%.3f" % exc.retry_after
             response = _error_response(status, type(exc).__name__, str(exc), headers)
-        self._record(route, response.status, time.perf_counter() - t0)
+        t1 = self.uptime()
+        rt.route = route
+        rt.status = response.status
+        rt.wall_us = max(0, int(round((t1 - t_recv) * 1e6)))
+        rt.spans[0]["dur_us"] = rt.wall_us
+        rt.spans[1]["name"] = "handler:%s" % route
+        rt.spans[1]["dur_us"] = max(0, int(round((t1 - t0) * 1e6)))
+        self.traces.finish(rt)
+        self._record(route, rt.tenant, response.status, t1 - t_recv)
+        self.metrics.sample("service.queue_depth", t1, self.queue.depth)
+        self._access(request, response, rt)
+        response.headers.setdefault("traceparent", ctx.header())
         return response
 
     async def _dispatch(self, request: Request) -> tuple:
@@ -335,17 +492,54 @@ class ServiceApp:
         if path == "/v1/stats":
             return "stats", await self._stats(request)
         if path == "/v1/metrics":
-            return "metrics", Response(
-                200, _json_body(self.metrics.snapshot(end_time=0.0))
-            )
+            # end_time is real server uptime so Timeline.time_weighted_mean
+            # (queue depth over the life of the process) is meaningful.
+            snap = self.metrics.snapshot(end_time=self.uptime())
+            if request.param("format") == "prom":
+                return "metrics", Response(
+                    200,
+                    render_prometheus(snap).encode("utf-8"),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            return "metrics", Response(200, _json_body(snap))
         if path == "/v1/tenants":
             return "tenants", Response(
                 200, _json_body({"tenants": self.registry.list_tenants()})
             )
+        if path == "/v1/traces/slowest":
+            limit_raw = request.param("limit")
+            try:
+                limit = int(limit_raw) if limit_raw else None
+            except ValueError:
+                return "traces", _error_response(
+                    400, "BadRequest", "bad limit %r" % limit_raw
+                )
+            return "traces", Response(
+                200,
+                _json_body(
+                    {
+                        "slowest": self.traces.slowest(
+                            request.param("route"), limit
+                        ),
+                        "ring": self.traces.stats(),
+                    }
+                ),
+            )
+        if path.startswith("/v1/traces/"):
+            trace_id = path[len("/v1/traces/"):]
+            found = self.traces.get(trace_id)
+            if found is None:
+                return "traces", _error_response(
+                    404, "NotFound", "no retained trace %s" % trace_id
+                )
+            return "traces", Response(200, _json_body(found.report()))
         m = _TENANT_ROUTE.match(path)
         if m is None:
             return "other", _error_response(404, "NotFound", "no route %s" % path)
         tenant, verb = m.group(1), m.group(2)
+        if request.trace is not None:
+            request.trace.tenant = tenant
+            request.trace.route = verb
         if verb == "ingest":
             if request.method != "POST":
                 return "ingest", _error_response(
@@ -373,6 +567,8 @@ class ServiceApp:
             "committed": self.queue.committed,
             "discarded": self.queue.discarded,
         }
+        stats["traces"] = self.traces.stats()
+        stats["uptime_seconds"] = self.uptime()
         return Response(200, _json_body(stats))
 
     async def _ingest(self, tenant: str, request: Request) -> Response:
@@ -390,12 +586,21 @@ class ServiceApp:
                 % (len(request.body), self.max_body_bytes),
             )
         loop = asyncio.get_running_loop()
+        rt = request.trace
         self.queue.reserve()
         entry: Optional[WalEntry] = None
+        wal_sid: Optional[str] = None
         try:
+            t_dec = self.uptime()
             trace = await loop.run_in_executor(
                 self.executor, decode_upload, request.body
             )
+            if rt is not None:
+                rt.add(
+                    "wal", "wal.decode", t_dec, self.uptime() - t_dec,
+                    parent_span_id=request.handler_span_id,
+                    args={"nbytes": len(request.body)},
+                )
             rank_raw = request.param("rank")
             try:
                 rank = int(rank_raw) if rank_raw is not None else None
@@ -407,6 +612,7 @@ class ServiceApp:
                 if key.startswith("meta.") and values
             }
             codec = request.param("codec", self.codec) or self.codec
+            t_wal = self.uptime()
             entry = await loop.run_in_executor(
                 self.executor,
                 partial(
@@ -414,9 +620,21 @@ class ServiceApp:
                     tenant, request.body, trace, rank, meta, codec,
                 ),
             )
+            if rt is not None:
+                wal_sid = rt.add(
+                    "wal", "wal.append", t_wal, self.uptime() - t_wal,
+                    parent_span_id=request.handler_span_id,
+                    args={"entry_id": entry.entry_id},
+                )
         except BaseException:
             self.queue.release()
             raise
+        if rt is not None:
+            # Join points for the commit worker, which runs after the
+            # response: it attaches its spans to this trace by id.
+            entry.trace_id = rt.trace_id
+            entry.parent_span_id = wal_sid
+        entry.enqueue_ts = self.uptime()
         self.metrics.inc("service.wal.appended")
         sync = request.param("sync") in ("1", "true", "yes")
         if sync:

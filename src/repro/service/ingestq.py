@@ -86,6 +86,18 @@ class WalEntry:
     future: Optional["asyncio.Future[IngestResult]"] = field(
         default=None, repr=False
     )
+    #: Trace-context join points, set at accept time so the commit
+    #: worker can attach its spans to the originating request's trace
+    #: (recovered entries have none — their request is long gone).
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
+    enqueue_ts: Optional[float] = None
+    #: Zero-arg seconds callable (the app's uptime clock); when set,
+    #: :meth:`IngestQueue.commit` stamps the ``bank.ingest_bundle``
+    #: interval below so the commit worker can emit the bank span.
+    clock: Optional[Any] = field(default=None, repr=False)
+    bank_ts: Optional[float] = None
+    bank_dur: Optional[float] = None
 
 
 class IngestQueue:
@@ -252,6 +264,7 @@ class IngestQueue:
         is unlinked only after the manifest is durably in place — the
         crash window re-commits, never loses.
         """
+        clock = entry.clock
         trace = entry.trace
         if trace is None:  # pragma: no cover - recovery always decodes
             raise ServiceError("WAL entry %s lost its decoded trace" % entry.entry_id)
@@ -263,7 +276,11 @@ class IngestQueue:
             bundle.metadata.setdefault("framework", trace.framework)
         meta: Dict[str, Any] = {"kind": "service"}
         meta.update(entry.meta)
+        if clock is not None:
+            entry.bank_ts = clock()
         result = bank.ingest_bundle(bundle, meta=meta, codec=entry.codec)
+        if clock is not None and entry.bank_ts is not None:
+            entry.bank_dur = clock() - entry.bank_ts
         try:
             entry.path.unlink()
         except OSError:

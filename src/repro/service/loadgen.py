@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ServiceError
 from repro.obs.metrics import canonical_json
+from repro.obs.reqtrace import make_context
 from repro.trace.binary_format import encode_trace_file
 from repro.trace.events import EventLayer, TraceEvent
 from repro.trace.records import TraceFile
@@ -125,6 +126,15 @@ def build_plan(
     return LoadPlan(seed=seed, tenants=tenant_names, payloads=payloads, ops=ops)
 
 
+def _rank_quantile(values: List[float], q: float) -> float:
+    """Nearest-rank quantile of a raw latency list (0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[idx]
+
+
 @dataclass
 class LoadResult:
     """Aggregated outcome of one loadgen run (see :func:`report`)."""
@@ -138,18 +148,29 @@ class LoadResult:
     status_counts: Dict[int, int]
     dedup_ratio: Optional[float] = None
     stats: Optional[Dict[str, Any]] = None
+    #: Per-route raw observations: route -> {"latencies", "status_counts"}.
+    routes: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def quantile(self, q: float) -> float:
         """The ``q``-quantile (nearest-rank) of the observed latencies."""
-        if not self.latencies:
-            return 0.0
-        ordered = sorted(self.latencies)
-        idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
-        return ordered[idx]
+        return _rank_quantile(self.latencies, q)
 
     def report(self) -> Dict[str, Any]:
         """The canonical BENCH_service report dict (schema'd, rounded)."""
         wall = max(self.wall_seconds, 1e-9)
+        per_route: Dict[str, Any] = {}
+        for route in sorted(self.routes):
+            obs = self.routes[route]
+            lats = obs.get("latencies") or []
+            per_route[route] = {
+                "requests": len(lats),
+                "latency_p50_ms": round(_rank_quantile(lats, 0.50) * 1e3, 3),
+                "latency_p99_ms": round(_rank_quantile(lats, 0.99) * 1e3, 3),
+                "status_counts": {
+                    str(k): v
+                    for k, v in sorted((obs.get("status_counts") or {}).items())
+                },
+            }
         return {
             "schema": "repro/service/bench/v1",
             "clients": self.clients,
@@ -163,6 +184,7 @@ class LoadResult:
             "status_counts": {
                 str(k): v for k, v in sorted(self.status_counts.items())
             },
+            "routes": per_route,
             "dedup_ratio": (
                 None if self.dedup_ratio is None else round(self.dedup_ratio, 4)
             ),
@@ -198,13 +220,15 @@ class _Client:
         method: str,
         target: str,
         body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         for attempt in (0, 1):  # one transparent reconnect on a stale socket
             if self.writer is None:
                 await self._connect()
             try:
                 return await asyncio.wait_for(
-                    self._roundtrip(method, target, body), timeout=self.timeout
+                    self._roundtrip(method, target, body, headers or {}),
+                    timeout=self.timeout,
                 )
             except (ConnectionError, asyncio.IncompleteReadError):
                 await self.close()
@@ -213,13 +237,16 @@ class _Client:
         raise ConnectionError("unreachable")  # pragma: no cover
 
     async def _roundtrip(
-        self, method: str, target: str, body: bytes
+        self, method: str, target: str, body: bytes, headers: Dict[str, str]
     ) -> Tuple[int, Dict[str, str], bytes]:
         assert self.reader is not None and self.writer is not None
-        head = (
-            "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %d\r\n\r\n"
-            % (method, target, self.host, len(body))
-        ).encode("latin-1")
+        lines = [
+            "%s %s HTTP/1.1" % (method, target),
+            "Host: %s" % self.host,
+            "Content-Length: %d" % len(body),
+        ]
+        lines.extend("%s: %s" % (k, v) for k, v in sorted(headers.items()))
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         self.writer.write(head + body)
         await self.writer.drain()
         status_line = await self.reader.readuntil(b"\r\n")
@@ -252,7 +279,7 @@ async def _run_client(
 ) -> None:
     client = _Client(host, port)
     try:
-        for op in plan.ops[client_idx]:
+        for op_idx, op in enumerate(plan.ops[client_idx]):
             kind, tenant = op[0], op[1]
             if kind == "ingest":
                 body = plan.payloads[int(op[2])]
@@ -263,21 +290,34 @@ async def _run_client(
                 body, method, target = b"", "GET", _DFG_TARGET % tenant
             else:
                 body, method, target = b"", "GET", "/v1/t/%s/runs" % tenant
+            # Deterministic trace context per (plan, client, op): the
+            # server adopts these ids, so a bench run's slowest server
+            # trace joins back to exactly one planned client request.
+            ctx = make_context("repro-loadgen", plan.seed, client_idx, op_idx)
+            route_obs = sink["routes"].setdefault(
+                kind, {"latencies": [], "status_counts": {}}
+            )
             retries = 0
             while True:
                 t0 = time.perf_counter()
                 try:
                     status, headers, _payload = await client.request(
-                        method, target, body
+                        method, target, body,
+                        headers={"Traceparent": ctx.header()},
                     )
                 except (ConnectionError, OSError, asyncio.IncompleteReadError,
                         asyncio.TimeoutError):
                     sink["errors"] += 1
                     await client.close()
                     break
-                sink["latencies"].append(time.perf_counter() - t0)
+                latency = time.perf_counter() - t0
+                sink["latencies"].append(latency)
                 sink["status_counts"][status] = (
                     sink["status_counts"].get(status, 0) + 1
+                )
+                route_obs["latencies"].append(latency)
+                route_obs["status_counts"][status] = (
+                    route_obs["status_counts"].get(status, 0) + 1
                 )
                 if status == 429 and retries < max_429_retries:
                     # Exponential backoff from the server's own hint —
@@ -303,6 +343,7 @@ async def _run_loadgen_async(
         "status_counts": {},
         "errors": 0,
         "retries_429": 0,
+        "routes": {},
     }
     t0 = time.perf_counter()
     await asyncio.gather(
@@ -335,6 +376,7 @@ async def _run_loadgen_async(
         status_counts=sink["status_counts"],
         dedup_ratio=dedup_ratio,
         stats=stats,
+        routes=sink["routes"],
     )
 
 

@@ -135,6 +135,9 @@ class ServiceServer:
     ) -> Tuple[Optional[Request], bool]:
         try:
             head = await reader.readuntil(b"\r\n\r\n")
+            # Request arrival on the app's uptime clock — the trace's
+            # http.request span starts here, covering the body read.
+            t_recv = self.app.uptime()
         except asyncio.LimitOverrunError:
             raise _BadRequest(400, "request head too large") from None
         except asyncio.IncompleteReadError as exc:
@@ -190,6 +193,7 @@ class ServiceServer:
             params=parse_qs(raw_query),
             headers=headers,
             body=body,
+            t_recv=t_recv,
         )
         return request, keep_alive
 
@@ -237,6 +241,9 @@ async def _serve_async(
     max_body_bytes: int,
     query_jobs: int,
     commit_workers: int,
+    access_log: Optional[str] = None,
+    trace_ring: int = 512,
+    slowest_per_route: int = 8,
 ) -> None:
     app = ServiceApp(
         store_root,
@@ -244,6 +251,9 @@ async def _serve_async(
         max_body_bytes=max_body_bytes,
         query_jobs=query_jobs,
         commit_workers=commit_workers,
+        access_log=access_log,
+        trace_ring=trace_ring,
+        slowest_per_route=slowest_per_route,
     )
     server = ServiceServer(app, host=host, port=port)
     bound_host, bound_port = await server.start()
@@ -264,6 +274,9 @@ def serve(
     max_body_bytes: int = 32 << 20,
     query_jobs: int = 1,
     commit_workers: int = 2,
+    access_log: Optional[str] = None,
+    trace_ring: int = 512,
+    slowest_per_route: int = 8,
 ) -> None:
     """Blocking entry point for ``repro service serve``."""
     try:
@@ -276,6 +289,9 @@ def serve(
                 max_body_bytes,
                 query_jobs,
                 commit_workers,
+                access_log=access_log,
+                trace_ring=trace_ring,
+                slowest_per_route=slowest_per_route,
             )
         )
     except KeyboardInterrupt:

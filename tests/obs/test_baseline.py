@@ -32,6 +32,7 @@ def _record(elapsed_traced=1.0, events_per_sec=1e6, **extra):
         "bytes_per_event": 40.0,
         "diagnose_runs_per_sec": 50.0,
         "service_req_per_sec": 300.0,
+        "service_p99_ms": 50.0,
         "zoo_replay_events_per_sec": 200.0,
     }
     point.update(extra)

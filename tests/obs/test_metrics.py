@@ -12,6 +12,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Timeline,
     canonical_json,
+    quantile_from_snapshot,
 )
 
 
@@ -60,6 +61,68 @@ class TestHistogram:
         h.observe(2.0)
         h.observe(4.0)
         assert h.mean == 3.0
+
+
+class TestHistogramQuantile:
+    """quantile(q) against exact log2 bucket bounds.
+
+    The estimator is nearest-rank over the buckets with linear
+    interpolation inside the winning bucket [2^e, 2^(e+1)) — every
+    assertion here is derivable by hand from those bounds.
+    """
+
+    def test_empty_histogram_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_single_bucket_interpolates_linearly(self):
+        h = Histogram()
+        for _ in range(4):
+            h.observe(5.0)  # all in bucket e=2 -> [4, 8)
+        # ranks 1..4 of 4 -> frac 1/4 .. 4/4 across the 4-wide bucket
+        assert h.quantile(0.25) == pytest.approx(4 + 0.25 * 4)
+        assert h.quantile(0.50) == pytest.approx(4 + 0.50 * 4)
+        assert h.quantile(1.00) == pytest.approx(8.0)
+
+    def test_quantile_walks_buckets_in_value_order(self):
+        h = Histogram()
+        for v in (1.5, 1.5, 6.0, 20.0):  # buckets e=0 (x2), e=2, e=4
+            h.observe(v)
+        # rank(0.5 * 4) = 2 -> second obs of bucket [1,2) -> 1 + (2/2)*1
+        assert h.quantile(0.5) == pytest.approx(2.0)
+        # rank(0.75 * 4) = 3 -> sole obs of bucket [4,8)
+        assert h.quantile(0.75) == pytest.approx(8.0)
+
+    def test_quantile_one_is_top_bucket_upper_bound(self):
+        h = Histogram()
+        h.observe(0.004)  # e=-8 -> [2^-8, 2^-7)
+        h.observe(0.020)  # e=-6 -> [2^-6, 2^-5)
+        assert h.quantile(1.0) == pytest.approx(2.0 ** -5)
+
+    def test_zero_bucket_quantiles_are_zero(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(0.0)
+        h.observe(4.0)
+        assert h.quantile(0.5) == 0.0  # rank 2 of 3 still in zero bucket
+        assert h.quantile(0.9) == pytest.approx(8.0)
+
+    def test_q_is_clamped(self):
+        h = Histogram()
+        h.observe(1.0)
+        assert h.quantile(-3.0) == h.quantile(0.0)
+        assert h.quantile(7.0) == h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_quantile_from_snapshot_matches_live_histogram(self):
+        h = Histogram()
+        for v in (0.0, 0.3, 0.3, 1.7, 40.0):
+            h.observe(v)
+        snap = h.snapshot()
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert quantile_from_snapshot(snap, q) == pytest.approx(h.quantile(q))
+
+    def test_quantile_from_snapshot_empty(self):
+        assert quantile_from_snapshot({}, 0.5) == 0.0
+        assert quantile_from_snapshot({"count": 0, "buckets": {}}, 0.5) == 0.0
 
 
 class TestTimeline:

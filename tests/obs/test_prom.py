@@ -1,0 +1,164 @@
+"""Prometheus exposition: golden format, escaping, cumulativity, round-trip.
+
+The exposition is what off-the-shelf scrapers consume, so its format is
+pinned hard: HELP/TYPE headers per family, escaped label values, strictly
+cumulative histogram buckets, and byte-stable rendering.  The matching
+parser must round-trip everything the renderer emits — that equivalence
+is what the CI live-smoke job asserts against a real server.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import (
+    escape_label_value,
+    parse_prometheus,
+    prom_name,
+    render_prometheus,
+    split_labels,
+)
+
+
+def _snapshot():
+    reg = MetricsRegistry()
+    reg.inc("service.requests", 7)
+    reg.inc("service.status.202", 4)
+    reg.gauge("service.up").set(1.0)
+    reg.observe("service.route_seconds{route=ingest}", 0.004)
+    reg.observe("service.route_seconds{route=ingest}", 0.020)
+    reg.observe("service.route_seconds{route=ingest}", 0.021)
+    reg.observe("service.route_seconds{route=query}", 0.5)
+    reg.observe("service.request_seconds{route=ingest,status=202}", 0.004)
+    reg.sample("service.queue_depth", 0.0, 0.0)
+    reg.sample("service.queue_depth", 1.0, 4.0)
+    return reg.snapshot(end_time=2.0)
+
+
+class TestSplitLabels:
+    def test_plain_name_has_no_labels(self):
+        assert split_labels("service.requests") == ("service.requests", {})
+
+    def test_labels_split_into_map(self):
+        base, labels = split_labels("a.b{route=ingest,status=202}")
+        assert base == "a.b"
+        assert labels == {"route": "ingest", "status": "202"}
+
+    def test_unterminated_brace_is_left_alone(self):
+        assert split_labels("a.b{oops") == ("a.b{oops", {})
+
+
+class TestEscaping:
+    def test_backslash_quote_newline(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_escaped_value_round_trips_through_parser(self):
+        reg = MetricsRegistry()
+        reg.inc('weird{path=/pfs/"x"\\y}', 3)
+        text = render_prometheus(reg.snapshot())
+        parsed = parse_prometheus(text)
+        (sample,) = parsed["samples"]
+        assert sample["labels"]["path"] == '/pfs/"x"\\y'
+        assert sample["value"] == 3.0
+
+
+class TestGoldenFormat:
+    def test_every_family_has_help_and_type(self):
+        text = render_prometheus(_snapshot())
+        lines = text.splitlines()
+        seen = set()
+        for i, line in enumerate(lines):
+            if line.startswith("# HELP "):
+                name = line.split(" ")[2]
+                assert lines[i + 1].startswith("# TYPE %s " % name)
+                seen.add(name)
+        assert "repro_service_requests_total" in seen
+        assert "repro_service_route_seconds" in seen
+        # Every sample's family appeared in a header.
+        for line in lines:
+            if line.startswith("#") or not line.strip():
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix):
+                    base = name[: -len(suffix)]
+            assert base in seen, name
+
+    def test_counter_families_end_in_total(self):
+        text = render_prometheus(_snapshot())
+        for line in text.splitlines():
+            if line.startswith("# TYPE ") and line.endswith(" counter"):
+                assert line.split(" ")[2].endswith("_total")
+
+    def test_histogram_buckets_are_cumulative_and_end_at_count(self):
+        text = render_prometheus(_snapshot())
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_service_route_seconds_bucket")
+            and 'route="ingest"' in line
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert '+Inf' in lines[-1]
+        assert counts[-1] == 3  # == _count
+
+    def test_bucket_le_is_the_log2_upper_bound(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.004)  # bucket e=-8 -> le = 2^-7
+        text = render_prometheus(reg.snapshot())
+        assert 'le="%s"' % repr(2.0 ** -7) in text
+
+    def test_rendering_is_byte_stable(self):
+        assert render_prometheus(_snapshot()) == render_prometheus(_snapshot())
+
+    def test_prom_name_sanitizes(self):
+        assert prom_name("a.b-c/d") == "repro_a_b_c_d"
+        assert prom_name("x", namespace="") == "x"
+
+
+class TestParseRoundTrip:
+    def test_full_snapshot_round_trips(self):
+        snap = _snapshot()
+        text = render_prometheus(snap)
+        parsed = parse_prometheus(text)
+        by_name = {}
+        for s in parsed["samples"]:
+            by_name.setdefault(s["name"], []).append(s)
+        assert by_name["repro_service_requests_total"][0]["value"] == 7.0
+        ingest_count = [
+            s for s in by_name["repro_service_route_seconds_count"]
+            if s["labels"] == {"route": "ingest"}
+        ]
+        assert ingest_count[0]["value"] == 3.0
+        # timeline -> .last/.mean gauges
+        assert by_name["repro_service_queue_depth_last"][0]["value"] == 4.0
+        mean = by_name["repro_service_queue_depth_mean"][0]["value"]
+        assert mean == pytest.approx(2.0)  # 0 for 1s, then 4 for 1s
+        assert by_name["repro_end_time_seconds"][0]["value"] == 2.0
+
+    def test_malformed_sample_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("# TYPE x counter\nx one\n")
+
+    def test_sample_without_type_header_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("orphan_metric 1\n")
+
+    def test_non_cumulative_buckets_raise(self):
+        bad = (
+            "# HELP h x\n# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\nh_sum 1\nh_count 5\n'
+        )
+        with pytest.raises(ValueError, match="cumulative"):
+            parse_prometheus(bad)
+
+    def test_infinity_bucket_sorts_last(self):
+        ok = (
+            "# HELP h x\n# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5\nh_bucket{le="1"} 2\n'
+            "h_sum 1\nh_count 5\n"
+        )
+        parse_prometheus(ok)  # out-of-order lines, still cumulative by le

@@ -1,0 +1,234 @@
+"""Unit tests for the request-tracing core (repro.obs.reqtrace).
+
+Everything here runs without sockets: trace-context parsing, the span
+ring's eviction/retention contract, and the three exporters (Perfetto
+JSON, collapsed-stack flamegraph, terminal rendering).  The live
+propagation path is exercised in tests/service/test_service_obs.py.
+"""
+
+import pytest
+
+from repro.obs.perfetto import validate_chrome_trace
+from repro.obs.reqtrace import (
+    REQTRACE_SCHEMA,
+    TRACKS,
+    RequestTrace,
+    RequestTraceLog,
+    child_span_id,
+    make_context,
+    parse_traceparent,
+    render_top,
+    render_trace,
+    trace_flamegraph_lines,
+    trace_to_chrome,
+)
+
+
+class TestTraceContext:
+    def test_make_context_is_deterministic(self):
+        a = make_context("repro-loadgen", 42, 3, 7)
+        b = make_context("repro-loadgen", 42, 3, 7)
+        c = make_context("repro-loadgen", 42, 3, 8)
+        assert (a.trace_id, a.span_id) == (b.trace_id, b.span_id)
+        assert a.trace_id != c.trace_id
+        assert len(a.trace_id) == 32 and len(a.span_id) == 16
+        int(a.trace_id, 16), int(a.span_id, 16)
+
+    def test_header_round_trips_through_parser(self):
+        ctx = make_context("x")
+        parsed = parse_traceparent(ctx.header())
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            "",
+            "not-a-header",
+            "00-short-abcdef0123456789-01",
+            "00-" + "g" * 32 + "-" + "a" * 16 + "-01",  # non-hex
+            "00-" + "0" * 32 + "-" + "a" * 16 + "-01",  # all-zero trace id
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+            "00-" + "a" * 32 + "-" + "a" * 16,  # missing flags
+        ],
+    )
+    def test_malformed_headers_parse_to_none(self, value):
+        assert parse_traceparent(value) is None
+
+    def test_parser_lowercases(self):
+        header = "00-" + "AB" * 16 + "-" + "CD" * 8 + "-01"
+        parsed = parse_traceparent(header)
+        assert parsed is not None
+        assert parsed.trace_id == "ab" * 16
+
+    def test_child_span_ids_are_distinct_per_seq(self):
+        tid = "a" * 32
+        assert child_span_id(tid, "wal.append", 0) != child_span_id(tid, "wal.append", 1)
+        assert len(child_span_id(tid, "x")) == 16
+
+
+def _trace(trace_id="a" * 32, wall_us=1000, route="ingest"):
+    rt = RequestTrace(trace_id, client_span_id="b" * 16)
+    rt.route = route
+    rt.tenant = "acme"
+    rt.status = 202
+    rt.wall_us = wall_us
+    http_sid = rt.add("http", "http.request", 0.001, 0.004)
+    wal_sid = rt.add("wal", "wal.append", 0.002, 0.001, parent_span_id=http_sid)
+    commit_sid = rt.add(
+        "commit", "commit", 0.006, 0.003, parent_span_id=wal_sid
+    )
+    rt.add("bank", "bank.ingest", 0.007, 0.002, parent_span_id=commit_sid)
+    return rt
+
+
+class TestRequestTrace:
+    def test_report_synthesizes_client_envelope(self):
+        report = _trace().report()
+        assert report["schema"] == REQTRACE_SCHEMA
+        client = report["spans"][0]
+        assert client["track"] == "client"
+        assert client["span_id"] == "b" * 16
+        assert client["parent_span_id"] is None
+        # envelope covers every recorded span
+        assert client["ts_us"] == 1000
+        assert client["ts_us"] + client["dur_us"] == 9000
+        # all other spans ultimately parent under the client span
+        ids = {s["span_id"] for s in report["spans"]}
+        for span in report["spans"][1:]:
+            assert span["parent_span_id"] in ids
+
+    def test_spans_sorted_by_time_then_track(self):
+        report = _trace().report()
+        ts = [s["ts_us"] for s in report["spans"]]
+        assert ts == sorted(ts)
+
+    def test_default_parent_is_client_span(self):
+        rt = RequestTrace("c" * 32, "d" * 16)
+        rt.add("http", "http.request", 0.0, 0.001)
+        assert rt.spans[0]["parent_span_id"] == "d" * 16
+
+    def test_summary_counts_envelope_span(self):
+        rt = _trace()
+        assert rt.summary()["n_spans"] == 5
+        assert rt.summary()["trace_id"] == rt.trace_id
+
+
+class TestRequestTraceLog:
+    def test_ring_evicts_oldest_but_retains_slowest(self):
+        log = RequestTraceLog(ring_size=4, slowest_per_route=2)
+        slow_ids = []
+        for i in range(16):
+            wall = 10_000_000 if i in (2, 5) else 100 + i
+            rt = _trace(trace_id=("%032x" % i), wall_us=wall)
+            if i in (2, 5):
+                slow_ids.append(rt.trace_id)
+            log.finish(rt)
+        stats = log.stats()
+        assert stats["ring"] == 4
+        assert stats["finished"] == 16
+        assert stats["evicted"] == 12
+        # slow outliers survived eviction as route exemplars
+        for tid in slow_ids:
+            assert log.get(tid) is not None
+        # a fast, evicted trace is gone
+        assert log.get("%032x" % 0) is None
+
+    def test_slowest_listing_sorted_and_scoped_by_route(self):
+        log = RequestTraceLog(ring_size=64, slowest_per_route=3)
+        for i, wall in enumerate([500, 9000, 100, 7000, 300]):
+            log.finish(_trace(trace_id=("%032x" % i), wall_us=wall))
+        log.finish(_trace(trace_id=("%032x" % 99), wall_us=50_000, route="query"))
+        top = log.slowest(route="ingest")
+        assert [s["wall_us"] for s in top] == [9000, 7000, 500]
+        assert all(s["route"] == "ingest" for s in top)
+        merged = log.slowest(limit=2)
+        assert merged[0]["wall_us"] == 50_000
+        assert len(merged) == 2
+
+    def test_attach_after_finish_adds_span(self):
+        log = RequestTraceLog(ring_size=4)
+        rt = _trace()
+        log.finish(rt)
+        sid = log.attach(rt.trace_id, "commit", "late", 0.5, 0.1)
+        assert sid is not None
+        assert any(s["name"] == "late" for s in log.get(rt.trace_id).spans)
+
+    def test_attach_after_eviction_is_noop(self):
+        log = RequestTraceLog(ring_size=1, slowest_per_route=1)
+        log.finish(_trace(trace_id="1" * 32, wall_us=100))
+        log.finish(_trace(trace_id="2" * 32, wall_us=50_000))
+        log.finish(_trace(trace_id="3" * 32, wall_us=60_000))
+        assert log.attach("1" * 32, "commit", "late", 0.5, 0.1) is None
+
+
+class TestExport:
+    def test_chrome_trace_validates_and_tracks_map_to_pids(self):
+        report = _trace().report()
+        chrome = trace_to_chrome(report)
+        validate_chrome_trace(chrome)  # raises on failure
+        events = chrome["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(report["spans"])
+        meta_names = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert set(TRACKS) <= meta_names
+        # span/parent ids ride in args for UI inspection
+        for e in complete:
+            assert e["args"]["trace_id"] == report["trace_id"]
+            assert "span_id" in e["args"]
+
+    def test_flamegraph_lines_nest_by_parent_links(self):
+        lines = trace_flamegraph_lines(_trace().report())
+        assert lines == sorted(lines)
+        assert all(" " in line for line in lines)
+        stacks = dict(line.rsplit(" ", 1) for line in lines)
+        # route is the root frame; explicit parents give the deep chain
+        deep = "ingest;client.request;http.request;wal.append;commit;bank.ingest"
+        assert deep in stacks
+        assert int(stacks[deep]) == 2000  # bank.ingest self time in µs
+        assert all(int(v) > 0 for v in stacks.values())
+
+    def test_flamegraph_semicolons_in_names_are_sanitized(self):
+        rt = RequestTrace("e" * 32, "f" * 16)
+        rt.route = "ingest"
+        rt.add("http", "a;b", 0.0, 0.001)
+        lines = trace_flamegraph_lines(rt.report())
+        assert any("a,b" in line for line in lines)
+
+    def test_render_trace_mentions_all_tracks(self):
+        text = render_trace(_trace().report())
+        assert "tracks crossed: client -> http -> wal -> commit -> bank" in text
+        for name in ("client.request", "http.request", "wal.append", "commit",
+                     "bank.ingest"):
+            assert name in text
+
+    def test_render_top_smoke(self):
+        stats = {
+            "queue": {"depth": 1, "capacity": 64, "committed": 5, "discarded": 0},
+            "tenants": 2,
+        }
+        metrics = {
+            "end_time": 12.5,
+            "counters": {"service.requests": 10, "service.status.202": 9,
+                         "service.status.404": 1},
+            "histograms": {
+                "service.route_seconds{route=ingest}": {
+                    "count": 9, "sum": 0.09, "min": 0.004, "max": 0.02,
+                    "buckets": {"-8": 9},
+                },
+            },
+        }
+        slowest = [_trace().summary()]
+        frame = render_top(stats, metrics, slowest,
+                           prev_counters={"service.requests": 0}, interval=2.0)
+        assert "10 requests" in frame
+        assert "5.0 req/s" in frame
+        assert "ingest" in frame
+        assert "202=9" in frame
+        assert "slowest requests:" in frame
+        assert "tenants 2" in frame

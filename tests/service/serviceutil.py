@@ -74,12 +74,14 @@ def http_request(
     target: str,
     body: bytes = b"",
     timeout: float = 10.0,
+    headers: Optional[Dict[str, str]] = None,
 ) -> Tuple[int, Dict[str, str], bytes]:
     """One HTTP round trip -> (status, lowercase headers, body bytes)."""
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    send_headers = {"Content-Length": str(len(body))}
+    send_headers.update(headers or {})
     try:
-        conn.request(method, target, body=body or None,
-                     headers={"Content-Length": str(len(body))})
+        conn.request(method, target, body=body or None, headers=send_headers)
         resp = conn.getresponse()
         payload = resp.read()
         headers = {k.lower(): v for k, v in resp.getheaders()}
